@@ -1,0 +1,139 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Each test removes or alters one mechanism and verifies the consequence
+the design rationale predicts:
+
+* congestion model off  -> the Fig. 1 decline disappears;
+* strict Algorithm-3 RDMA vs same-node short-circuit in the remote cohort;
+* spinlock backoff       -> helps, but nowhere near closing the ALock gap;
+* budget size            -> fairness/latency trade-off for remote ops;
+* MCS poll interval      -> loopback spin traffic vs hand-off delay.
+"""
+
+from conftest import run_once
+
+from repro.rdma.config import RdmaConfig
+from repro.workload import WorkloadSpec, run_workload
+
+
+def _tput(spec, **cluster_kwargs):
+    return run_workload(spec, **cluster_kwargs).throughput_ops_per_sec
+
+
+FIG1_SPEC = WorkloadSpec(n_nodes=1, threads_per_node=16, n_locks=1000,
+                         locality_pct=100.0, lock_kind="spinlock",
+                         warmup_ns=200_000, measure_ns=800_000, audit="off")
+
+
+def test_ablation_no_congestion_model(benchmark):
+    """With RX congestion disabled, the single-node spinlock saturates
+    flat instead of declining — the decline is *caused* by the modeled
+    RX-buffer accumulation, not an artifact of closed-loop clients."""
+
+    def run():
+        peak8 = _tput(FIG1_SPEC.with_(threads_per_node=8))
+        with_model = _tput(FIG1_SPEC)
+        flat_cfg = RdmaConfig().with_nic(rx_congestion_factor=0.0)
+        peak8_flat = _tput(FIG1_SPEC.with_(threads_per_node=8), config=flat_cfg)
+        without_model = _tput(FIG1_SPEC, config=flat_cfg)
+        return peak8, with_model, peak8_flat, without_model
+
+    peak8, with_model, peak8_flat, without_model = run_once(benchmark, run)
+    assert with_model < 0.75 * peak8          # decline with the model
+    assert without_model >= 0.95 * peak8_flat  # no decline without it
+    benchmark.extra_info["decline_with_model"] = round(with_model / peak8, 2)
+    benchmark.extra_info["decline_without_model"] = round(
+        without_model / peak8_flat, 2)
+
+
+def test_ablation_strict_remote_rdma(benchmark):
+    """Algorithm 3 uses rWrite for every remote-cohort interaction, even
+    when the neighbor's descriptor is on the caller's own node (loopback).
+    Short-circuiting those to local stores is a small win at most — it
+    must never *hurt*, and the strict variant stays within ~25%."""
+    base = WorkloadSpec(n_nodes=3, threads_per_node=8, n_locks=6,
+                        locality_pct=50.0, lock_kind="alock",
+                        warmup_ns=200_000, measure_ns=800_000, audit="off")
+
+    def run():
+        strict = _tput(base.with_(lock_options={"strict_remote_rdma": True}))
+        relaxed = _tput(base.with_(lock_options={"strict_remote_rdma": False}))
+        return strict, relaxed
+
+    strict, relaxed = run_once(benchmark, run)
+    assert relaxed >= 0.95 * strict
+    assert strict >= 0.75 * relaxed
+    benchmark.extra_info["relaxed_over_strict"] = round(relaxed / strict, 3)
+
+
+def test_ablation_spinlock_backoff(benchmark):
+    """Backoff reduces the spinlock's wasted rCAS traffic under high
+    contention but does not close the gap to ALock."""
+    base = WorkloadSpec(n_nodes=5, threads_per_node=12, n_locks=20,
+                        locality_pct=90.0, warmup_ns=200_000,
+                        measure_ns=800_000, audit="off")
+
+    def run():
+        plain = _tput(base.with_(lock_kind="spinlock"))
+        backoff = _tput(base.with_(lock_kind="spinlock",
+                                   lock_options={"backoff_ns": 1_000.0}))
+        alock = _tput(base.with_(lock_kind="alock"))
+        return plain, backoff, alock
+
+    plain, backoff, alock = run_once(benchmark, run)
+    assert backoff > 0.8 * plain          # backoff is not catastrophic
+    assert alock > 2.5 * max(plain, backoff)  # and never closes the gap
+    benchmark.extra_info["backoff_over_plain"] = round(backoff / plain, 2)
+    benchmark.extra_info["alock_over_best_spin"] = round(
+        alock / max(plain, backoff), 1)
+
+
+def test_ablation_budget_extremes(benchmark):
+    """Budget 1 forces a Peterson reacquire on almost every pass; a huge
+    budget effectively disables cross-cohort yielding.  Throughput must
+    be monotone-ish in budget, while the remote p99 shows the fairness
+    price of the huge budget."""
+    base = WorkloadSpec(n_nodes=5, threads_per_node=8, n_locks=5,
+                        locality_pct=90.0, lock_kind="alock",
+                        warmup_ns=200_000, measure_ns=800_000, audit="off")
+
+    def run():
+        out = {}
+        for name, budgets in (("tiny", (1, 1)), ("paper", (20, 5)),
+                              ("huge", (10_000, 10_000))):
+            result = run_workload(base.with_(lock_options={
+                "remote_budget": budgets[0], "local_budget": budgets[1]}))
+            remote = result.remote_latency
+            out[name] = (result.throughput_ops_per_sec,
+                         remote.p99 if remote.count else 0.0)
+        return out
+
+    out = run_once(benchmark, run)
+    assert out["paper"][0] >= 0.9 * out["tiny"][0]
+    # with yielding disabled, remote requesters wait out whole local runs
+    assert out["huge"][1] >= out["paper"][1]
+    benchmark.extra_info["tput_tiny_paper_huge"] = [
+        round(out[k][0]) for k in ("tiny", "paper", "huge")]
+    benchmark.extra_info["remote_p99_tiny_paper_huge"] = [
+        round(out[k][1]) for k in ("tiny", "paper", "huge")]
+
+
+def test_ablation_mcs_poll_interval(benchmark):
+    """Pacing the MCS baseline's loopback polling trades spin traffic
+    for hand-off delay; neither setting rescues it against ALock."""
+    base = WorkloadSpec(n_nodes=3, threads_per_node=8, n_locks=6,
+                        locality_pct=90.0, warmup_ns=200_000,
+                        measure_ns=800_000, audit="off")
+
+    def run():
+        tight = _tput(base.with_(lock_kind="mcs"))
+        paced = _tput(base.with_(lock_kind="mcs",
+                                 lock_options={"poll_interval_ns": 3_000.0}))
+        alock = _tput(base.with_(lock_kind="alock"))
+        return tight, paced, alock
+
+    tight, paced, alock = run_once(benchmark, run)
+    assert alock > 2 * max(tight, paced)
+    benchmark.extra_info["paced_over_tight"] = round(paced / tight, 2)
+    benchmark.extra_info["alock_over_best_mcs"] = round(
+        alock / max(tight, paced), 1)

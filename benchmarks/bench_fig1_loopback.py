@@ -1,0 +1,29 @@
+"""Benchmark + shape checks for paper Fig. 1 (loopback saturation).
+
+Paper shape: single-node RDMA spinlock throughput rises with threads,
+peaks early, then *declines* as loopback drains PCIe and the RX buffer
+accumulates.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig1_loopback_saturation(benchmark):
+    result = run_once(benchmark, run_experiment, "fig1", scale="small")
+    assert result.all_shapes_hold, result.shape_checks
+
+    threads = [r["threads"] for r in result.rows]
+    tput = [r["throughput_ops"] for r in result.rows]
+    peak_idx = max(range(len(tput)), key=tput.__getitem__)
+    # peak strictly inside the sweep, and a real decline follows
+    assert 0 < peak_idx < len(tput) - 1
+    assert tput[-1] < 0.75 * tput[peak_idx]
+    # rising edge up to the peak
+    assert all(tput[i] < tput[i + 1] for i in range(peak_idx))
+    # congestion evidence: RX utilization ~1 and queues at the high end
+    assert result.rows[-1]["rx_utilization"] > 0.9
+    benchmark.extra_info["peak_threads"] = threads[peak_idx]
+    benchmark.extra_info["peak_throughput_ops"] = tput[peak_idx]
+    benchmark.extra_info["decline_ratio"] = round(tput[-1] / tput[peak_idx], 3)

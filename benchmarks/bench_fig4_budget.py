@@ -1,0 +1,19 @@
+"""Benchmark + shape checks for paper Fig. 4 (budget sensitivity)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig4_budget_grid(benchmark):
+    result = run_once(benchmark, run_experiment, "fig4", scale="small")
+    assert result.all_shapes_hold, result.shape_checks
+    by_pair = {(r["remote_budget"], r["local_budget"]): r for r in result.rows}
+    # the full grid was swept
+    assert set(by_pair) == {(r, l) for r in (5, 10, 20) for l in (5, 10, 20)}
+    # baseline is its own reference
+    assert by_pair[(5, 5)]["speedup_vs_5_5_pct"] == 0.0
+    # the paper's chosen configuration does not regress vs the baseline
+    assert by_pair[(20, 5)]["speedup_vs_5_5_pct"] >= -1.0
+    benchmark.extra_info["paper_choice_speedup_pct"] = \
+        by_pair[(20, 5)]["speedup_vs_5_5_pct"]

@@ -1,0 +1,25 @@
+"""Benchmark + shape checks for paper Fig. 6 (latency CDFs)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_fig6_latency_cdfs(benchmark, experiment_cache):
+    result = run_once(benchmark, run_experiment, "fig6", scale="small")
+    experiment_cache["fig6"] = result
+    assert result.all_shapes_hold, {
+        k: v for k, v in result.shape_checks.items() if not v}
+    assert {r["panel"] for r in result.rows} == set("abcdefghijkl")
+
+    rows = {(r["panel"], r["lock"]): r for r in result.rows}
+    # paper: 100% local + high contention (panel a), ALock up to 17x/33x
+    # faster than MCS/spinlock; require >= 5x at this scale
+    a_alock = rows[("a", "alock")]
+    assert rows[("a", "spinlock")]["p50_ns"] >= 5 * a_alock["p50_ns"]
+    assert rows[("a", "mcs")]["p50_ns"] >= 5 * a_alock["p50_ns"]
+    # 100% local ALock latency is in shared-memory territory (< 2 us)
+    assert a_alock["p50_ns"] < 2_000
+    benchmark.extra_info["panel_a_alock_p50_ns"] = a_alock["p50_ns"]
+    benchmark.extra_info["panel_a_spin_over_alock"] = round(
+        rows[("a", "spinlock")]["p50_ns"] / a_alock["p50_ns"], 1)

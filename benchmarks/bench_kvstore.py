@@ -1,0 +1,115 @@
+"""Benchmarks of the KV-store application over different lock kinds.
+
+The end-to-end payoff measurement: for a locality-heavy data-store
+workload (the paper's motivating use case), how much application-level
+throughput does the lock choice buy?
+"""
+
+from conftest import run_once
+
+from repro.cluster import Cluster
+from repro.kvstore import KVConfig, ShardedKVStore
+
+
+def run_store_workload(lock_kind: str, *, n_nodes=3, clients=4,
+                       ops_per_client=60, locality=0.9, seed=8) -> dict:
+    cluster = Cluster(n_nodes, seed=seed, audit="off")
+    store = ShardedKVStore(cluster, KVConfig(n_buckets=30,
+                                             lock_kind=lock_kind))
+    env = cluster.env
+
+    def client(node, tid):
+        ctx = cluster.thread_ctx(node, tid)
+        rng = cluster.rng.get("bench-kv", node, tid)
+        my_keys = store.local_keys(node, 4)
+        for i in range(ops_per_client):
+            local = rng.random() < locality
+            if local:
+                key = my_keys[i % 4]
+            else:
+                other = (node + 1 + int(rng.integers(0, n_nodes - 1))) % n_nodes
+                key = store.local_keys(other, 4)[i % 4]
+            # read-heavy mix, typical for KV serving
+            if rng.random() < 0.75:
+                yield from store.get(ctx, key)
+            else:
+                yield from store.add(ctx, key, 1)
+
+    procs = [env.process(client(n, t))
+             for n in range(n_nodes) for t in range(clients)]
+    cluster.run()
+    assert all(p.ok for p in procs)
+    total_ops = n_nodes * clients * ops_per_client
+    return {
+        "ops_per_sec": total_ops / (env.now * 1e-9),
+        "sim_ns": env.now,
+        "adds": store.puts,
+        "total_value": store.total_value(),
+        "audit": store.audit(),
+    }
+
+
+def test_kvstore_alock_vs_baselines(benchmark):
+    """Application-level speedup from the lock choice at 90% locality.
+
+    A finding worth keeping honest: the application gap (~1.4x over the
+    spinlock, ~2x over MCS) is much smaller than the lock-primitive gap
+    (4-6x), because a *remote* client's critical section contains remote
+    data reads/writes (~11 us held) that dwarf lock overhead and stall
+    local clients queued on the same bucket.  This is exactly why
+    RDMA stores fight for data locality and lock-free reads — the
+    paper's locality axis, seen from the application side."""
+
+    def run():
+        return {kind: run_store_workload(kind)
+                for kind in ("alock", "spinlock", "mcs", "rpc")}
+
+    results = run_once(benchmark, run)
+    for kind, r in results.items():
+        assert r["audit"] == [], kind
+        assert r["total_value"] == r["adds"]  # every += under the lock
+    tput = {k: r["ops_per_sec"] for k, r in results.items()}
+    assert tput["alock"] > 1.25 * tput["spinlock"]
+    assert tput["alock"] > 1.8 * tput["mcs"]
+    benchmark.extra_info.update(
+        {k: round(v) for k, v in tput.items()})
+
+
+def test_kvstore_transfer_stress(benchmark):
+    """Cross-node transfers (nested ALock acquisitions) at volume:
+    conservation + checksum witnesses hold, and the run completes
+    without deadlock (global bucket ordering)."""
+
+    def run():
+        cluster = Cluster(3, seed=5, audit="off")
+        store = ShardedKVStore(cluster, KVConfig(n_buckets=30))
+        env = cluster.env
+        keys = [store.local_keys(n, 2)[i] for n in range(3) for i in range(2)]
+
+        def seed_money():
+            ctx = cluster.thread_ctx(0, 0)
+            for key in keys:
+                yield from store.put(ctx, key, 10_000)
+
+        p = env.process(seed_money())
+        cluster.run()
+        assert p.ok
+        start_total = store.total_value()
+
+        def mover(node, tid):
+            ctx = cluster.thread_ctx(node, tid)
+            rng = cluster.rng.get("mover", node, tid)
+            for _ in range(40):
+                src, dst = rng.choice(len(keys), size=2, replace=False)
+                yield from store.transfer(ctx, keys[src], keys[dst], 7)
+
+        procs = [env.process(mover(n, t)) for n in range(3) for t in range(2)]
+        cluster.run()
+        assert all(p.ok for p in procs)
+        return start_total, store.total_value(), store.audit(), store.transfers
+
+    start_total, end_total, audit, transfers = run_once(benchmark, run)
+    assert end_total == start_total
+    assert audit == []
+    assert transfers == 240
+    benchmark.extra_info["transfers"] = transfers

@@ -1,0 +1,65 @@
+"""Single-op cost of each lock primitive, local vs remote.
+
+Reports the *simulated* cost of one uncontended lock+unlock per lock
+kind and access class via ``extra_info`` — the microscopic asymmetry
+(ALock local ≈ hundreds of ns; everything else ≈ microseconds) that
+§6's macro results are built from — while the benchmark time measures
+simulator wall-clock for the same op.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.locks import make_lock
+
+
+def _one_op_sim_ns(kind: str, local: bool) -> float:
+    cluster = Cluster(2, audit="off")
+    lock = make_lock(kind, cluster, 0)
+    ctx = cluster.thread_ctx(0 if local else 1, 0)
+    env = cluster.env
+
+    def warm_and_measure():
+        # warm QP contexts so we time the steady-state op
+        yield from lock.lock(ctx)
+        yield from lock.unlock(ctx)
+        start = env.now
+        yield from lock.lock(ctx)
+        yield from lock.unlock(ctx)
+        return env.now - start
+
+    p = env.process(warm_and_measure())
+    cluster.run()
+    assert p.ok, p.value
+    return p.value
+
+
+@pytest.mark.parametrize("kind", ["alock", "spinlock", "mcs"])
+@pytest.mark.parametrize("access", ["local", "remote"])
+def test_uncontended_op_cost(benchmark, kind, access):
+    local = access == "local"
+    sim_ns = benchmark(_one_op_sim_ns, kind, local)
+    benchmark.extra_info["simulated_ns_per_op"] = sim_ns
+    if kind == "alock" and local:
+        # the headline asymmetry: local ALock ops in shared-memory range
+        assert sim_ns < 1_500
+    else:
+        # every RDMA-path op costs microseconds
+        assert sim_ns > 1_500
+
+
+def test_alock_local_vs_baselines_factor(benchmark):
+    """The local-access cost gap that drives the paper's 100%-locality
+    results: ALock vs the loopback-based baselines."""
+
+    def measure():
+        alock = _one_op_sim_ns("alock", local=True)
+        spin = _one_op_sim_ns("spinlock", local=True)
+        mcs = _one_op_sim_ns("mcs", local=True)
+        return alock, spin, mcs
+
+    alock, spin, mcs = benchmark(measure)
+    assert spin / alock > 4
+    assert mcs / alock > 8
+    benchmark.extra_info["spin_over_alock"] = round(spin / alock, 1)
+    benchmark.extra_info["mcs_over_alock"] = round(mcs / alock, 1)

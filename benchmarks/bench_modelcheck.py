@@ -1,0 +1,73 @@
+"""Benchmark of the explicit-state model checker (paper Appendix A).
+
+Measures exploration rate and re-verifies the appendix's properties at
+the configuration sizes the test suite uses.
+"""
+
+from conftest import run_once
+
+from repro.verification import (
+    ALockSpec,
+    check_deadlock_freedom,
+    check_mutual_exclusion,
+    check_starvation_freedom,
+)
+
+
+def test_modelcheck_np2_sweep_budgets(benchmark):
+    """NP=2 across budgets — the pure Peterson competition."""
+
+    def run():
+        results = [check_mutual_exclusion(ALockSpec(2, b)) for b in (1, 2, 3)]
+        return results
+
+    results = benchmark(run)
+    assert all(r.holds for r in results)
+    benchmark.extra_info["states"] = [r.states_explored for r in results]
+
+
+def test_modelcheck_np3_full(benchmark):
+    """NP=3, budget 2 — passing + Peterson; ~80k states."""
+
+    def run():
+        me = check_mutual_exclusion(ALockSpec(3, 2))
+        dl = check_deadlock_freedom(ALockSpec(3, 2))
+        return me, dl
+
+    me, dl = run_once(benchmark, run)
+    assert me.holds and dl.holds
+    assert me.states_explored > 50_000
+    benchmark.extra_info["states_explored"] = me.states_explored
+
+
+def test_modelcheck_starvation_freedom_np3(benchmark):
+    """The SCC-based weak-fairness liveness check at NP=3."""
+
+    def run():
+        return check_starvation_freedom(ALockSpec(3, 2))
+
+    result = run_once(benchmark, run)
+    assert result.holds
+    benchmark.extra_info["states"] = result.states_explored
+
+
+def test_modelcheck_detects_livelock(benchmark):
+    """StarvationFree fails fast on the victim-less Peterson bug."""
+
+    def run():
+        return check_starvation_freedom(ALockSpec(2, 1, bug="no_victim_check"))
+
+    result = benchmark(run)
+    assert not result.holds
+
+
+def test_modelcheck_finds_bug_quickly(benchmark):
+    """Counterexample search on the buggy spec (BFS finds the shortest
+    violating trace)."""
+
+    def run():
+        return check_mutual_exclusion(ALockSpec(3, 2, bug="skip_handoff_wait"))
+
+    result = benchmark(run)
+    assert not result.holds
+    benchmark.extra_info["trace_length"] = len(result.counterexample.states)

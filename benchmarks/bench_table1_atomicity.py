@@ -1,0 +1,16 @@
+"""Benchmark + shape check for paper Table 1 (atomicity matrix)."""
+
+from conftest import run_once
+
+from repro.experiments import run_experiment
+
+
+def test_table1_matrix(benchmark, experiment_cache):
+    result = run_once(benchmark, run_experiment, "table1", scale="small")
+    experiment_cache["table1"] = result
+    assert result.all_shapes_hold, result.shape_checks
+    assert len(result.rows) == 9
+    unsafe = {(r["local_op"], r["remote_op"])
+              for r in result.rows if r["atomic"] == "No"}
+    assert unsafe == {("Write", "rCAS"), ("RMW", "rCAS")}
+    benchmark.extra_info["cells_checked"] = len(result.rows)

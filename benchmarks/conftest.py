@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark suite.
+
+Every paper artifact (table/figure) has one ``bench_*`` module that
+regenerates it via :mod:`repro.experiments` and asserts the paper's
+*shape* (who wins, by roughly what factor, where crossovers fall) —
+absolute numbers are simulator-scale, not testbed-scale.
+
+Heavy experiment benches run exactly once per session
+(``benchmark.pedantic(rounds=1)``) and cache their result at module
+scope so shape assertions don't re-run the simulation.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under the benchmark timer and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture(scope="session")
+def experiment_cache():
+    """Session-wide cache: experiment id -> ExperimentResult, so shape
+    assertions across tests reuse one simulation run."""
+    return {}

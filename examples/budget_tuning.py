@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Tuning the ALock budgets (the paper's §6.1 / Fig. 4 methodology).
+
+Sweeps the (remote_budget, local_budget) grid on a contended lock table
+and prints throughput relative to the (5, 5) baseline, plus the
+fairness side of the trade-off the throughput number hides: the p99
+latency of *remote* operations, which grows when the local cohort is
+allowed longer chains.
+
+Run:  python examples/budget_tuning.py
+"""
+
+from statistics import mean
+
+from repro import WorkloadSpec, run_workload
+from repro.analysis import format_table, relative_speedup
+
+
+def measure(remote_budget: int, local_budget: int):
+    tputs, remote_p99s = [], []
+    for locality in (85.0, 90.0, 95.0):
+        spec = WorkloadSpec(
+            n_nodes=5, threads_per_node=12, n_locks=5,  # 1 lock/node
+            locality_pct=locality, lock_kind="alock",
+            lock_options={"remote_budget": remote_budget,
+                          "local_budget": local_budget},
+            warmup_ns=200_000, measure_ns=800_000, audit="off", seed=11)
+        result = run_workload(spec)
+        tputs.append(result.throughput_ops_per_sec)
+        remote = result.remote_latency
+        if remote.count:
+            remote_p99s.append(remote.p99)
+    return mean(tputs), mean(remote_p99s)
+
+
+def main() -> None:
+    baseline_tput, _ = measure(5, 5)
+    rows = []
+    for remote_budget in (5, 10, 20):
+        for local_budget in (5, 10, 20):
+            tput, remote_p99 = measure(remote_budget, local_budget)
+            rows.append({
+                "remote_budget": remote_budget,
+                "local_budget": local_budget,
+                "throughput_op_s": round(tput),
+                "vs_(5,5)_%": round(relative_speedup(tput, baseline_tput), 1),
+                "remote_p99_us": round(remote_p99 / 1000, 1),
+            })
+    print(format_table(
+        rows,
+        title="Budget grid: 5 nodes x 12 threads, 1 lock/node, "
+              "avg over 85/90/95% locality\n"))
+    print("\nReading the trade-off: larger LOCAL budgets buy raw throughput "
+          "(local passes\nare ~100x cheaper than verbs) but push the remote "
+          "p99 up — remote leaders sit\nin Peterson's algorithm while the "
+          "local chain runs.  The paper picks\nremote=20, local=5 to bound "
+          "exactly that cost; the library defaults follow it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""A FaRM-style sharded key-value store on top of the ALock.
+
+The paper's introduction motivates ALock with RDMA data repositories
+that need atomicity between local and remote accesses.  This example
+runs such a store: buckets striped across a 3-node cluster, each
+guarded by an ALock, with clients doing locality-weighted gets/puts and
+cross-node bank transfers (two bucket locks in global order, via the
+descriptor-pool nesting extension).
+
+Witnesses printed at the end:
+
+* the checksum audit (every record satisfies checksum = value+version);
+* transfer conservation (total value unchanged);
+* zero Table-1 violations under strict auditing;
+* zero loopback verbs — local data ops stayed in shared memory.
+
+Run:  python examples/kv_store.py
+"""
+
+from repro import Cluster
+from repro.kvstore import KVConfig, ShardedKVStore
+
+
+def main() -> None:
+    cluster = Cluster(3, seed=2024, audit="strict")
+    store = ShardedKVStore(cluster, KVConfig(n_buckets=30))
+    env = cluster.env
+
+    # Give every node's first few keys a starting balance.
+    accounts = [key for node in range(3) for key in store.local_keys(node, 3)]
+
+    def seed():
+        ctx = cluster.thread_ctx(0, 0)
+        for key in accounts:
+            yield from store.put(ctx, key, 1_000)
+
+    p = env.process(seed())
+    cluster.run()
+    assert p.ok
+    initial_total = store.total_value()
+
+    stats = {"ops": 0}
+
+    def worker(node, tid):
+        ctx = cluster.thread_ctx(node, tid)
+        rng = cluster.rng.get("kv-client", node, tid)
+        my_keys = store.local_keys(node, 3)
+        for i in range(120):
+            roll = rng.random()
+            if roll < 0.60:                      # local read
+                yield from store.get(ctx, my_keys[i % 3])
+            elif roll < 0.85:                    # local update
+                yield from store.add(ctx, my_keys[i % 3], 0)
+            elif roll < 0.95:                    # remote lock-free read
+                other = accounts[int(rng.integers(0, len(accounts)))]
+                yield from store.get_optimistic(ctx, other)
+            else:                                # cross-node transfer
+                src = my_keys[i % 3]
+                dst = accounts[int(rng.integers(0, len(accounts)))]
+                yield from store.transfer(ctx, src, dst, 10)
+            stats["ops"] += 1
+
+    procs = [env.process(worker(n, t)) for n in range(3) for t in range(2)]
+    cluster.run()
+    assert all(p.ok for p in procs), [p.value for p in procs if not p.ok]
+
+    print("=== sharded KV store over ALock: 3 nodes x 2 clients ===\n")
+    print(f"operations completed      : {stats['ops']} "
+          f"({store.gets} locked gets, {store.optimistic_gets} lock-free "
+          f"gets,\n                             {store.puts} puts, "
+          f"{store.transfers} transfers)")
+    print(f"simulated time            : {env.now / 1e6:.2f} ms")
+    print(f"checksum audit            : "
+          f"{'CLEAN' if not store.audit() else store.audit()}")
+    print(f"transfer conservation     : total {store.total_value()} "
+          f"(= initial {initial_total}: "
+          f"{store.total_value() == initial_total})")
+    print(f"Table-1 violations        : {cluster.auditor.violation_count} "
+          f"(strict mode — would have raised)")
+    print(f"loopback verbs            : {cluster.network.loopback_verbs} "
+          f"(Algorithm-3 strict rWrites between two same-node threads\n"
+          f"                             queued remotely on one bucket — "
+          f"not local data access)")
+    verbs = cluster.network.verb_counts
+    print(f"RDMA verbs (remote ops)   : {verbs}")
+    print("\nLocal reads/updates ran at shared-memory speed while remote "
+          "clients and\ncross-node transfers synchronized through the same "
+          "ALocks — no RPC, and no\nloopback on any local data path.")
+    assert store.total_value() == initial_total
+    assert not store.audit()
+
+
+if __name__ == "__main__":
+    main()

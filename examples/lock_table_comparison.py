@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Distributed lock table: ALock vs the RDMA spinlock and MCS baselines.
+
+The paper's evaluation application (§6): a lock table striped over the
+cluster, closed-loop clients, locality-controlled lock choice.  This
+example runs a compact version of the comparison — one cluster size,
+three locality levels, all three lock types — and prints the paper-style
+summary: throughput, median/tail latency, and who used loopback.
+
+Run:  python examples/lock_table_comparison.py [--nodes 5] [--threads 8]
+"""
+
+import argparse
+
+from repro import WorkloadSpec, run_workload
+from repro.analysis import format_table, ratio
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--nodes", type=int, default=5)
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--locks", type=int, default=100)
+    args = parser.parse_args()
+
+    rows = []
+    by_key = {}
+    for locality in (100.0, 95.0, 85.0):
+        for kind in ("alock", "spinlock", "mcs"):
+            spec = WorkloadSpec(
+                n_nodes=args.nodes, threads_per_node=args.threads,
+                n_locks=args.locks, locality_pct=locality, lock_kind=kind,
+                warmup_ns=200_000, measure_ns=800_000, audit="off", seed=1)
+            result = run_workload(spec)
+            by_key[(locality, kind)] = result.throughput_ops_per_sec
+            rows.append({
+                "locality_%": locality,
+                "lock": kind,
+                "throughput_op_s": round(result.throughput_ops_per_sec),
+                "p50_ns": round(result.latency.p50),
+                "p99_ns": round(result.latency.p99),
+                "loopback_verbs": result.loopback_verbs,
+            })
+
+    print(format_table(
+        rows, title=f"Lock table: {args.nodes} nodes x {args.threads} "
+                    f"threads, {args.locks} locks\n"))
+    print("\nALock advantage (throughput ratio):")
+    for locality in (100.0, 95.0, 85.0):
+        a = by_key[(locality, "alock")]
+        print(f"  {locality:5.1f}% locality: "
+              f"{ratio(a, by_key[(locality, 'spinlock')]):5.1f}x vs spinlock, "
+              f"{ratio(a, by_key[(locality, 'mcs')]):5.1f}x vs MCS")
+    print("\nNote the loopback column: the baselines route *local* accesses "
+          "through their own RNIC;\nALock's count stays at zero — the "
+          "paper's core design claim.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Figure 2 walkthrough, live.
+
+Two nodes, one ALock on node 1, one thread per node.  Thread t1 (on
+node 0) locks the ALock *remotely*; while it holds the lock, thread t2
+(on node 1) attempts a *local* acquisition and must wait in Peterson's
+algorithm until the remote cohort's tail clears.  The protocol trace
+printed at the end is the execution of the paper's eight frames.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ALock, Cluster
+
+
+def main() -> None:
+    cluster = Cluster(n_nodes=2, seed=42, trace=True, audit="strict")
+    lock = ALock(cluster, home_node=1, name="l2")
+    t1 = cluster.thread_ctx(node_id=0, thread_id=0)   # remote to l2
+    t2 = cluster.thread_ctx(node_id=1, thread_id=0)   # local to l2
+    env = cluster.env
+    events = []
+
+    def remote_thread():
+        # Frames 2-4: t1 swaps its RemoteDescriptor onto tail_r (rCAS),
+        # then competes in Peterson's algorithm and wins immediately
+        # because the local tail is NULL.
+        yield from lock.lock(t1)
+        events.append(("t1 enters CS (remote cohort)", env.now))
+        yield env.timeout(10_000)  # critical section work
+        # Frame 7: rCAS the remote tail back to NULL -> releases the
+        # Peterson flag as a side effect.
+        yield from lock.unlock(t1)
+        events.append(("t1 released", env.now))
+
+    def local_thread():
+        yield env.timeout(7_000)  # arrive while t1 is in its CS
+        # Frames 5-6: t2 swaps onto tail_l with a plain (shared-memory)
+        # CAS, sets victim=LOCAL, and waits: victim == LOCAL and the
+        # remote tail is still locked.
+        yield from lock.lock(t2)
+        # Frame 8: the remote tail cleared, t2's budget is set -> CS.
+        events.append(("t2 enters CS (local cohort)", env.now))
+        yield from lock.unlock(t2)
+        events.append(("t2 released", env.now))
+
+    p1 = env.process(remote_thread(), name="t1")
+    p2 = env.process(local_thread(), name="t2")
+    cluster.run()
+    assert p1.ok and p2.ok
+
+    print("=== Figure 2 walkthrough (2 nodes, 1 ALock on node 1) ===\n")
+    print("Protocol trace:")
+    for ev in cluster.tracer:
+        print(f"  {ev}")
+    print("\nTimeline:")
+    for what, when in events:
+        print(f"  [{when:>10.1f} ns] {what}")
+    print("\nKey properties demonstrated:")
+    print("  - critical sections did not overlap: t2's cs.enter follows "
+          "t1's cs.exit\n    (t1's release rCAS lands at the target before "
+          "its completion returns,\n    so the 't1 released' timeline entry "
+          "trails t2's entry — the trace has\n    the linearization order)")
+    print(f"  - t2's acquisition used ZERO RDMA verbs "
+          f"(local ops: {t2.local_op_count}, remote: {t2.remote_op_count})")
+    print(f"  - t1's acquisition used one rCAS + Peterson traffic "
+          f"(remote ops: {t1.remote_op_count})")
+    print(f"  - no loopback anywhere: {cluster.network.loopback_verbs} "
+          f"loopback verbs")
+    print(f"  - Table-1 audit (strict mode): "
+          f"{cluster.auditor.violation_count} violations")
+
+
+if __name__ == "__main__":
+    main()

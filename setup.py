@@ -1,0 +1,6 @@
+from setuptools import setup
+
+setup()
+# Kept alongside pyproject.toml so `pip install -e .` works on
+# environments without the `wheel` package (legacy setup.py develop
+# path); all metadata lives in pyproject.toml.

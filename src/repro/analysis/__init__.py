@@ -1,0 +1,18 @@
+"""Result analysis and terminal rendering.
+
+The experiment harness reports results the way the paper does — as
+throughput series per lock type (Fig. 5), latency CDFs (Fig. 6), and
+relative-speedup bars (Fig. 4) — rendered as aligned text tables and
+ASCII series suitable for EXPERIMENTS.md and CI logs.
+"""
+
+from repro.analysis.tables import format_table, format_series
+from repro.analysis.compare import ratio, relative_speedup, crossover_point
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "ratio",
+    "relative_speedup",
+    "crossover_point",
+]

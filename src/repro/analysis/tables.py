@@ -1,0 +1,61 @@
+"""Aligned text tables and ASCII series renderers."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(rows: Iterable[dict], columns: Sequence[str] | None = None,
+                 title: str = "") -> str:
+    """Render dict rows as an aligned, pipe-separated text table.
+
+    Column order: ``columns`` if given, else the keys of the first row.
+    """
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    cells = [[_fmt(row.get(c)) for c in cols] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in cells)) for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in cells:
+        lines.append(" | ".join(v.rjust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(x: Sequence[float], ys: dict[str, Sequence[float]],
+                  *, x_label: str = "x", width: int = 40,
+                  title: str = "") -> str:
+    """Render several named series over a shared x-axis as an ASCII chart:
+    one bar row per (x, series) pair, scaled to the global maximum.  Not a
+    substitute for the paper's plots, but enough to eyeball shapes (who
+    wins, where curves cross) in a terminal or markdown block."""
+    peak = max((max(v) for v in ys.values() if len(v)), default=0.0)
+    lines = []
+    if title:
+        lines.append(title)
+    name_w = max((len(n) for n in ys), default=4)
+    for i, xv in enumerate(x):
+        lines.append(f"{x_label}={_fmt(xv)}")
+        for name, series in ys.items():
+            v = series[i]
+            bar = "#" * (round(width * v / peak) if peak > 0 else 0)
+            lines.append(f"  {name.ljust(name_w)} {_fmt(v).rjust(10)} |{bar}")
+    return "\n".join(lines)

@@ -1,0 +1,16 @@
+"""Cluster model: nodes, application-thread contexts, builder.
+
+A :class:`Cluster` owns the simulation environment, one memory region
+and NIC per node, the fabric, and (optionally) a race auditor and a
+trace buffer.  :class:`ThreadContext` is the execution context the
+paper's system model gives a thread ``t_i^j``: the *local* operation
+family (``Read``/``Write``/``CAS`` + fences, valid only against memory
+on the thread's own node) and the *remote* verb family
+(``rRead``/``rWrite``/``rCAS``), plus the locality check on RDMA
+pointers that the ALock's ``Lock()`` entry point performs.
+"""
+
+from repro.cluster.cluster import Cluster, Node
+from repro.cluster.context import ThreadContext
+
+__all__ = ["Cluster", "Node", "ThreadContext"]

@@ -1,0 +1,112 @@
+"""Cluster construction: nodes, regions, NICs, fabric, shared services.
+
+The :class:`Cluster` is the root object every experiment builds first.
+It mirrors the paper's testbed shape: ``n`` identical nodes, each with
+one RNIC and one slab of RDMA-registered memory, connected by a uniform
+fabric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import ConfigError
+from repro.common.rng import RngStreams
+from repro.common.trace import TraceBuffer
+from repro.memory.pointer import MAX_NODES
+from repro.memory.races import RaceAuditor
+from repro.memory.region import MemoryRegion
+from repro.rdma.config import RdmaConfig
+from repro.rdma.network import RdmaNetwork
+from repro.sim.core import Environment
+
+#: Default per-node slab: enough for thousands of locks + descriptors.
+DEFAULT_REGION_BYTES = 4 << 20
+
+
+@dataclass
+class Node:
+    """One machine: id, its memory slab, and a view of its NIC."""
+
+    node_id: int
+    region: MemoryRegion
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Node {self.node_id}>"
+
+
+class Cluster:
+    """An ``n``-node RDMA cluster simulation.
+
+    Args:
+        n_nodes: number of machines (1..32 with the default pointer width).
+        config: cost-model bundle; defaults to the CX-3 calibration.
+        region_bytes: RDMA slab size per node.
+        seed: root seed for all derived RNG streams.
+        audit: Table-1 race auditing mode (``"off"``/``"record"``/``"strict"``).
+        trace: enable the protocol trace buffer (quickstart walkthroughs).
+    """
+
+    def __init__(self, n_nodes: int, *, config: Optional[RdmaConfig] = None,
+                 region_bytes: int = DEFAULT_REGION_BYTES, seed: int = 0,
+                 audit: str = "record", trace: bool = False):
+        if not 1 <= n_nodes <= MAX_NODES:
+            raise ConfigError(f"n_nodes must be in [1, {MAX_NODES}], got {n_nodes}")
+        self.env = Environment()
+        self.config = config or RdmaConfig()
+        self.rng = RngStreams(seed)
+        self.auditor = RaceAuditor(mode=audit) if audit != "off" else RaceAuditor(mode="off")
+        self.tracer = TraceBuffer(enabled=trace)
+        self.regions = [
+            MemoryRegion(self.env, i, region_bytes, auditor=self.auditor)
+            for i in range(n_nodes)
+        ]
+        self.network = RdmaNetwork(
+            self.env, self.config, self.regions, auditor=self.auditor,
+            jitter_rng=self.rng.get("fabric-jitter"))
+        self.nodes = [Node(i, self.regions[i]) for i in range(n_nodes)]
+        self._contexts: dict[tuple[int, int], "ThreadContext"] = {}
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def thread_ctx(self, node_id: int, thread_id: int) -> "ThreadContext":
+        """The (cached) execution context for thread ``t_node^thread``."""
+        from repro.cluster.context import ThreadContext
+
+        if not 0 <= node_id < self.n_nodes:
+            raise ConfigError(f"node {node_id} out of range for {self.n_nodes}-node cluster")
+        key = (node_id, thread_id)
+        ctx = self._contexts.get(key)
+        if ctx is None:
+            ctx = ThreadContext(self, node_id, thread_id)
+            self._contexts[key] = ctx
+        return ctx
+
+    def alloc_on(self, node_id: int, nbytes: int, align: int = 64) -> int:
+        """Allocate RDMA memory on ``node_id``; returns a packed pointer."""
+        return self.regions[node_id].alloc_ptr(nbytes, align)
+
+    def run(self, until=None):
+        """Advance the simulation (delegates to the environment)."""
+        return self.env.run(until)
+
+    def stats(self) -> dict:
+        """Cluster-wide counters: verbs, NICs, memory, audit results."""
+        return {
+            "network": self.network.stats(),
+            "memory": [
+                {
+                    "node": r.node_id,
+                    "local_reads": r.local_reads,
+                    "local_writes": r.local_writes,
+                    "local_rmws": r.local_rmws,
+                    "remote_ops_landed": r.remote_ops_landed,
+                    "bytes_allocated": r.bytes_allocated,
+                }
+                for r in self.regions
+            ],
+            "atomicity_violations": self.auditor.violation_count,
+        }

@@ -1,0 +1,185 @@
+"""Per-thread execution context: the operation families of the paper's
+system model (§4).
+
+Every method that costs simulated time is a generator to be driven with
+``yield from`` inside a simulation process.  Local operations charge the
+CPU cost model and act directly on the node's memory region; remote
+operations are one-sided verbs through the NIC/fabric.  The context
+enforces Definition 4.1: the local family refuses pointers whose home
+node differs from the thread's node.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TYPE_CHECKING
+
+from repro.common.errors import MemoryError_
+from repro.common.ids import make_global_thread_id
+from repro.memory.pointer import ptr_addr, ptr_node
+from repro.memory.region import to_signed
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.cluster import Cluster
+
+
+class ThreadContext:
+    """Thread ``t_i^j``: node ``i``, local thread index ``j``.
+
+    Not constructed directly — use :meth:`Cluster.thread_ctx`.
+    """
+
+    def __init__(self, cluster: "Cluster", node_id: int, thread_id: int):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.node_id = node_id
+        self.thread_id = thread_id
+        self.gid = make_global_thread_id(node_id, thread_id)
+        self.actor = f"t{thread_id}@n{node_id}"
+        self._region = cluster.regions[node_id]
+        self._net = cluster.network
+        self._cpu = cluster.config.cpu
+        # statistics
+        self.local_op_count = 0
+        self.remote_op_count = 0
+
+    # -- locality ----------------------------------------------------------
+    def is_local(self, ptr: int) -> bool:
+        """Definition 4.1/4.2: does ``ptr`` live on this thread's node?
+        (The ALock's ``Lock()`` uses this to pick the cohort.)"""
+        return ptr_node(ptr) == self.node_id
+
+    def _local_addr(self, ptr: int) -> int:
+        if ptr_node(ptr) != self.node_id:
+            raise MemoryError_(
+                f"{self.actor} attempted a LOCAL operation on node "
+                f"{ptr_node(ptr)} memory — local ops require loopback or "
+                f"verbs (this is the bug class ALock exists to prevent)")
+        return ptr_addr(ptr)
+
+    def trace(self, kind: str, detail: str = "") -> None:
+        self.cluster.tracer.emit(self.env.now, self.actor, kind, detail)
+
+    # -- local (shared-memory) operations ------------------------------
+    def read(self, ptr: int, *, signed: bool = False):
+        """Local atomic 8-byte load."""
+        addr = self._local_addr(ptr)
+        self.local_op_count += 1
+        yield self.env.timeout(self._cpu.local_read_ns)
+        value = self._region.read(addr, self.actor)
+        return to_signed(value) if signed else value
+
+    def write(self, ptr: int, value: int):
+        """Local atomic 8-byte store."""
+        addr = self._local_addr(ptr)
+        self.local_op_count += 1
+        yield self.env.timeout(self._cpu.local_write_ns)
+        self._region.write(addr, value, self.actor)
+
+    def cas(self, ptr: int, expected: int, desired: int, *, signed: bool = False):
+        """Local compare-and-swap; returns the previous value."""
+        addr = self._local_addr(ptr)
+        self.local_op_count += 1
+        yield self.env.timeout(self._cpu.local_cas_ns)
+        old = self._region.cas(addr, expected, desired, self.actor)
+        return to_signed(old) if signed else old
+
+    def faa(self, ptr: int, delta: int, *, signed: bool = False):
+        """Local fetch-and-add; returns the previous value."""
+        addr = self._local_addr(ptr)
+        self.local_op_count += 1
+        yield self.env.timeout(self._cpu.local_cas_ns)
+        old = self._region.faa(addr, delta, self.actor)
+        return to_signed(old) if signed else old
+
+    def fence(self):
+        """atomic_thread_fence — required by §5.2 after locking and before
+        unlocking (RDMA memory semantics are not sequentially consistent)."""
+        yield self.env.timeout(self._cpu.fence_ns)
+
+    def wait_local(self, ptr: int, predicate: Callable[[int], bool],
+                   *, signed: bool = False):
+        """Spin on a local word until ``predicate(value)`` holds.
+
+        Event-driven: parks on a memory watcher, so the spin generates no
+        simulated traffic (the MCS local-spin property).  The watcher is
+        registered *before* each check read — a write landing between the
+        check and the park would otherwise be lost forever.  Returns the
+        satisfying value.
+        """
+        addr = self._local_addr(ptr)
+        while True:
+            ev = self._region.watch(addr)  # register first (synchronous)
+            self.local_op_count += 1
+            yield self.env.timeout(self._cpu.local_read_ns)
+            raw = self._region.read(addr, self.actor)
+            value = to_signed(raw) if signed else raw
+            if predicate(value):
+                return value
+            yield ev
+            yield self.env.timeout(self._cpu.spin_recheck_ns)
+
+    def wait_local_cond(self, ptrs: list[int], check):
+        """Park until a compound condition over several *local* words holds.
+
+        ``check`` is a generator function (driven with ``yield from``)
+        returning truthy to stop; it is re-evaluated after every write to
+        any of ``ptrs``.  The watcher-before-check ordering makes the wait
+        lost-wakeup free.  Used by the local cohort's Peterson wait, which
+        involves both the victim word and the other cohort's tail.
+        Returns the truthy check result.
+        """
+        addrs = [self._local_addr(p) for p in ptrs]
+        while True:
+            ev = self._region.watch_any(addrs)  # register first
+            result = yield from check()
+            if result:
+                return result
+            yield ev
+            yield self.env.timeout(self._cpu.spin_recheck_ns)
+
+    def wait_local_any(self, ptrs: list[int]):
+        """Park until any of several *local* words is written; returns
+        ``(ptr, raw_value)`` of the write that woke us.  Used by the local
+        cohort's Peterson wait, which watches both the victim word and the
+        other cohort's tail."""
+        addrs = [self._local_addr(p) for p in ptrs]
+        ev = self._region.watch_any(addrs)
+        addr, raw = yield ev
+        yield self.env.timeout(self._cpu.spin_recheck_ns)
+        # map the byte address back to the caller's pointer
+        for p, a in zip(ptrs, addrs):
+            if a == addr:
+                return p, raw
+        raise MemoryError_("watcher woke for an unexpected address")  # pragma: no cover
+
+    # -- remote (RDMA) operations ------------------------------------------
+    def r_read(self, ptr: int, *, signed: bool = False):
+        """One-sided RDMA read (loopback if ``ptr`` is local — only the
+        baseline locks do that deliberately)."""
+        self.remote_op_count += 1
+        value = yield from self._net.r_read(self.node_id, self.thread_id, ptr,
+                                            signed=signed)
+        return value
+
+    def r_write(self, ptr: int, value: int):
+        """One-sided RDMA write."""
+        self.remote_op_count += 1
+        yield from self._net.r_write(self.node_id, self.thread_id, ptr, value)
+
+    def r_cas(self, ptr: int, expected: int, desired: int, *, signed: bool = False):
+        """One-sided RDMA compare-and-swap; returns the previous value."""
+        self.remote_op_count += 1
+        old = yield from self._net.r_cas(self.node_id, self.thread_id, ptr,
+                                         expected, desired, signed=signed,
+                                         actor=self.actor)
+        return old
+
+    def r_faa(self, ptr: int, delta: int, *, signed: bool = False):
+        """One-sided RDMA fetch-and-add; returns the previous value."""
+        self.remote_op_count += 1
+        old = yield from self._net.r_faa(self.node_id, self.thread_id, ptr,
+                                         delta, signed=signed, actor=self.actor)
+        return old
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ThreadContext {self.actor}>"

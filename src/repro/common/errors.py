@@ -1,0 +1,53 @@
+"""Exception hierarchy for the ALock reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so
+callers can catch library failures without masking genuine Python bugs
+(``TypeError`` etc. propagate untouched).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value (bad node count, negative latency, ...)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly.
+
+    Examples: resuming a finished process, running a stopped environment,
+    yielding a non-event from a process generator.
+    """
+
+
+class MemoryError_(ReproError):
+    """RDMA memory misuse: out-of-bounds access, misaligned word op,
+    allocation past the end of a region, or a local operation issued
+    against memory that lives on a different node.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class ProtocolError(ReproError):
+    """A lock protocol reached a state it never should (e.g. an unlock by
+    a thread that does not hold the lock, or a descriptor reused while
+    still enqueued)."""
+
+
+class AtomicityViolation(ReproError):
+    """Raised (in strict mode) or recorded (in audit mode) when two
+    operations race in a cell of the paper's Table 1 that RDMA does not
+    make atomic — e.g. a local CAS overlapping a remote CAS on the same
+    8-byte word."""
+
+    def __init__(self, message: str, *, address: int | None = None,
+                 local_op: str | None = None, remote_op: str | None = None):
+        super().__init__(message)
+        self.address = address
+        self.local_op = local_op
+        self.remote_op = remote_op

@@ -1,0 +1,74 @@
+"""Structured tracing for protocol walkthroughs and debugging.
+
+The quickstart example reproduces the paper's Figure 2 (an 8-frame
+execution of two threads racing on one ALock) by replaying a trace of
+protocol-level events.  Tracing is off by default and costs one branch
+per event when disabled.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One protocol-level event.
+
+    Attributes:
+        time: simulated time in nanoseconds.
+        actor: human-readable actor (e.g. ``"t1@n0"``).
+        kind: event class (``"rCAS"``, ``"peterson.wait"``, ...).
+        detail: free-form description of arguments/results.
+    """
+
+    time: float
+    actor: str
+    kind: str
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.time:>12.1f} ns] {self.actor:<10} {self.kind:<18} {self.detail}"
+
+
+@dataclass
+class TraceBuffer:
+    """Bounded ring buffer of :class:`TraceEvent`.
+
+    Attributes:
+        capacity: maximum retained events (oldest dropped first).
+        enabled: master switch; when False, :meth:`emit` is a no-op.
+    """
+
+    capacity: int = 65536
+    enabled: bool = False
+    _events: deque = field(default_factory=deque, repr=False)
+
+    def emit(self, time: float, actor: str, kind: str, detail: str = "") -> None:
+        if not self.enabled:
+            return
+        if len(self._events) >= self.capacity:
+            self._events.popleft()
+        self._events.append(TraceEvent(time, actor, kind, detail))
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def filtered(self, *, actor: str | None = None, kind: str | None = None) -> list[TraceEvent]:
+        """Events matching the given actor and/or kind prefix."""
+        out = []
+        for ev in self._events:
+            if actor is not None and ev.actor != actor:
+                continue
+            if kind is not None and not ev.kind.startswith(kind):
+                continue
+            out.append(ev)
+        return out

@@ -1,0 +1,64 @@
+"""``alock-experiments`` command-line entry point.
+
+::
+
+    alock-experiments list
+    alock-experiments run fig1 fig4 --scale small --out results.md
+    alock-experiments run all --scale smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="alock-experiments",
+        description="Regenerate the ALock paper's tables and figures on "
+                    "the RDMA-cluster simulator.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_p = sub.add_parser("run", help="run experiments")
+    run_p.add_argument("experiments", nargs="+",
+                       help="experiment ids (or 'all')")
+    run_p.add_argument("--scale", default="small",
+                       choices=("smoke", "small", "paper"))
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--out", default=None,
+                       help="also append markdown reports to this file")
+    args = parser.parse_args(argv)
+
+    if args.command == "list":
+        for exp_id in EXPERIMENTS:
+            print(exp_id)
+        return 0
+
+    ids = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    failed = []
+    reports = []
+    for exp_id in ids:
+        start = time.perf_counter()
+        result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
+        elapsed = time.perf_counter() - start
+        report = result.to_markdown()
+        reports.append(report)
+        print(report)
+        print(f"\n({exp_id} finished in {elapsed:.1f}s)\n")
+        if not result.all_shapes_hold:
+            failed.append(exp_id)
+    if args.out:
+        with open(args.out, "a", encoding="utf-8") as fh:
+            fh.write("\n\n".join(reports) + "\n")
+    if failed:
+        print(f"shape checks FAILED for: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Experiment ``fig4`` — budget sensitivity (paper Fig. 4, §6.1).
+
+Sweep the (remote_budget, local_budget) grid and report throughput
+relative to the (5, 5) baseline, averaged over 95/90/85% locality —
+exactly the paper's methodology (their cluster: 20 nodes, 100 locks,
+medium contention).
+
+Paper shape: raising the remote budget while keeping the local budget
+low helps (up to ~23%), because the reacquire operation is much more
+expensive for the remote cohort (remote spinning in Peterson's
+algorithm) than for the local cohort.
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from repro.analysis import relative_speedup
+from repro.experiments.base import ExperimentResult, is_strict, scale_params
+from repro.workload import WorkloadSpec, run_workload
+
+BASELINE_BUDGET = 5
+
+
+def _avg_throughput(remote_budget: int, local_budget: int, *, params: dict,
+                    n_nodes: int, n_locks: int, threads: int,
+                    seed: int) -> float:
+    """Throughput averaged over the locality mix for one budget pair."""
+    samples = []
+    for locality in params["localities"]:
+        spec = WorkloadSpec(
+            n_nodes=n_nodes, threads_per_node=threads, n_locks=n_locks,
+            locality_pct=locality, lock_kind="alock",
+            lock_options={"remote_budget": remote_budget,
+                          "local_budget": local_budget},
+            warmup_ns=params["warmup_ns"], measure_ns=params["measure_ns"],
+            seed=seed, audit="off")
+        samples.append(run_workload(spec).throughput_ops_per_sec)
+    return mean(samples)
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    params = scale_params(scale)
+    # The paper runs 20 nodes x 100 locks (~2.4 threads per lock).  The
+    # budget only matters while cohort queues actually form, so smaller
+    # scales keep the *threads-per-lock pressure* rather than the
+    # absolute table size.
+    n_nodes = max(params["nodes"])
+    threads = max(params["threads"])
+    # One lock per node at reduced scales keeps the cross-cohort queue
+    # pressure of the paper's 240-thread/100-lock configuration.
+    n_locks = 100 if scale == "paper" else n_nodes
+    budgets = params["budgets"]
+
+    result = ExperimentResult(
+        "fig4",
+        "Relative speedup vs (remote=5, local=5) budgets, averaged over "
+        "95/90/85% locality",
+        scale)
+
+    baseline = _avg_throughput(BASELINE_BUDGET, BASELINE_BUDGET,
+                               params=params, n_nodes=n_nodes,
+                               n_locks=n_locks, threads=threads, seed=seed)
+    speedups: dict[tuple[int, int], float] = {}
+    for remote_budget in budgets:
+        for local_budget in budgets:
+            tput = (baseline if (remote_budget == BASELINE_BUDGET
+                                 and local_budget == BASELINE_BUDGET)
+                    else _avg_throughput(remote_budget, local_budget,
+                                         params=params, n_nodes=n_nodes,
+                                         n_locks=n_locks, threads=threads,
+                                         seed=seed))
+            speedup = relative_speedup(tput, baseline)
+            speedups[(remote_budget, local_budget)] = speedup
+            result.rows.append({
+                "remote_budget": remote_budget,
+                "local_budget": local_budget,
+                "throughput_ops": round(tput),
+                "speedup_vs_5_5_pct": round(speedup, 1),
+            })
+
+    max_budget = max(budgets)
+    best = max(speedups, key=speedups.get)
+    if is_strict(scale):
+        result.check(
+            "raising the remote budget (local fixed at 5) does not regress "
+            "and trends positive",
+            speedups[(max_budget, BASELINE_BUDGET)] >= -1.0)
+        result.check(
+            "remote budget is monotone-ish at local=5 (20 >= 5 within 1%)",
+            speedups[(max_budget, BASELINE_BUDGET)]
+            >= speedups[(BASELINE_BUDGET, BASELINE_BUDGET)] - 1.0)
+    result.notes.append(
+        f"best budget pair: remote={best[0]}, local={best[1]} "
+        f"({speedups[best]:+.1f}%); the paper selects remote=20, local=5 "
+        f"(up to +23%) and so do the library defaults.")
+    result.notes.append(
+        "DEVIATION: the paper finds *lowering* the local budget helps "
+        "(+23% at remote=20/local=5) because long local chains make the "
+        "remote leader's Peterson spinning flood the target RNIC.  In the "
+        "simulator that spin traffic is too light to dominate, so larger "
+        "local budgets mildly *raise* total throughput (cheap local passes "
+        "weigh more) at the cost of remote-op latency.  The remote-budget "
+        "direction (raising it helps) reproduces.")
+    return result

@@ -1,0 +1,143 @@
+"""Experiment ``fig5`` — the throughput grid (paper Fig. 5, §6.2).
+
+Twelve panels: rows are cluster sizes (5/10/20 nodes), columns are
+contention levels (20/100/1000 locks) for mixed-locality workloads plus
+an isolated 100%-locality column; the x-axis of each panel is
+threads/node, the series are the three lock types.
+
+Panel naming matches the paper: for the 5-node row, (a) = 20 locks,
+(b) = 100 locks, (c) = 1000 locks (each at the scale's reference
+locality, with additional ALock locality series in the low-contention
+panel), and (d) = 100% locality; (e)–(h) repeat for 10 nodes and
+(i)–(l) for 20 nodes.
+
+Paper shapes asserted per row of panels:
+
+* high contention: ALock wins by an order of magnitude or more;
+* low contention: ALock still wins; its advantage grows with locality;
+* 100% locality: ALock ≥ ~10× both competitors;
+* spinlock saturates and stops scaling with threads.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import CONTENTION_LOCKS, ExperimentResult, is_strict, scale_params
+from repro.workload import WorkloadSpec, run_workload
+
+LOCKS = ("alock", "spinlock", "mcs")
+#: Reference locality for the mixed-workload panels.
+REFERENCE_LOCALITY = 90.0
+_PANEL_NAMES = "abcdefghijkl"
+
+
+def _panel_name(row: int, col: int) -> str:
+    return _PANEL_NAMES[row * 4 + col]
+
+
+def _throughput(lock_kind: str, *, n_nodes: int, threads: int, n_locks: int,
+                locality: float, params: dict, seed: int) -> float:
+    spec = WorkloadSpec(
+        n_nodes=n_nodes, threads_per_node=threads, n_locks=max(n_locks, n_nodes),
+        locality_pct=locality, lock_kind=lock_kind,
+        warmup_ns=params["warmup_ns"], measure_ns=params["measure_ns"],
+        seed=seed, audit="off")
+    return run_workload(spec).throughput_ops_per_sec
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    params = scale_params(scale)
+    result = ExperimentResult(
+        "fig5", "Throughput grid: nodes x contention x locality x threads",
+        scale)
+    threads_axis = list(params["threads"])
+
+    for row, n_nodes in enumerate(params["nodes"]):
+        # Columns 0-2: mixed locality at each contention level.
+        for col, (level, n_locks) in enumerate(CONTENTION_LOCKS.items()):
+            panel = _panel_name(row, col)
+            series: dict[str, list[float]] = {}
+            for lock_kind in LOCKS:
+                curve = []
+                for threads in threads_axis:
+                    tput = _throughput(
+                        lock_kind, n_nodes=n_nodes, threads=threads,
+                        n_locks=n_locks, locality=REFERENCE_LOCALITY,
+                        params=params, seed=seed)
+                    curve.append(tput)
+                    result.rows.append({
+                        "panel": panel, "nodes": n_nodes,
+                        "contention": level, "locks": n_locks,
+                        "locality_pct": REFERENCE_LOCALITY,
+                        "lock": lock_kind, "threads_per_node": threads,
+                        "throughput_ops": round(tput),
+                    })
+                series[lock_kind] = curve
+            # Locality sensitivity of ALock in the low-contention panel
+            # ("improves by 40% from 85% to 90% ... 75% more at 95%").
+            if level == "low":
+                for locality in params["localities"]:
+                    if locality == REFERENCE_LOCALITY:
+                        continue
+                    tput = _throughput(
+                        "alock", n_nodes=n_nodes, threads=threads_axis[-1],
+                        n_locks=n_locks, locality=locality, params=params,
+                        seed=seed)
+                    result.rows.append({
+                        "panel": panel, "nodes": n_nodes,
+                        "contention": level, "locks": n_locks,
+                        "locality_pct": locality, "lock": "alock",
+                        "threads_per_node": threads_axis[-1],
+                        "throughput_ops": round(tput),
+                    })
+            result.series[panel] = (threads_axis, series)
+            self_check_panel(result, panel, level, series, strict=is_strict(scale))
+        # Column 3: the isolated 100%-locality panel (high contention —
+        # the paper stresses ALock wins "even ... with just 20 locks").
+        panel = _panel_name(row, 3)
+        series = {}
+        for lock_kind in LOCKS:
+            curve = []
+            for threads in threads_axis:
+                tput = _throughput(
+                    lock_kind, n_nodes=n_nodes, threads=threads,
+                    n_locks=CONTENTION_LOCKS["high"], locality=100.0,
+                    params=params, seed=seed)
+                curve.append(tput)
+                result.rows.append({
+                    "panel": panel, "nodes": n_nodes,
+                    "contention": "high", "locks": CONTENTION_LOCKS["high"],
+                    "locality_pct": 100.0, "lock": lock_kind,
+                    "threads_per_node": threads,
+                    "throughput_ops": round(tput),
+                })
+            series[lock_kind] = curve
+        result.series[panel] = (threads_axis, series)
+        result.check(
+            f"panel ({panel}): 100% locality, ALock leads both competitors",
+            series["alock"][-1] > series["spinlock"][-1]
+            and series["alock"][-1] > series["mcs"][-1])
+        if is_strict(scale):
+            result.check(
+                f"panel ({panel}): 100% locality, ALock >= 8x spinlock at max threads",
+                series["alock"][-1] >= 8 * series["spinlock"][-1])
+            result.check(
+                f"panel ({panel}): 100% locality, ALock >= 8x MCS at max threads",
+                series["alock"][-1] >= 8 * series["mcs"][-1])
+    return result
+
+
+def self_check_panel(result: ExperimentResult, panel: str, level: str,
+                     series: dict[str, list[float]], *, strict: bool) -> None:
+    """Shape assertions for one mixed-locality panel."""
+    alock, spin, mcs = series["alock"], series["spinlock"], series["mcs"]
+    result.check(
+        f"panel ({panel}): ALock leads both competitors at the top thread count",
+        alock[-1] > spin[-1] and alock[-1] > mcs[-1])
+    if strict and level == "high":
+        result.check(
+            f"panel ({panel}): high contention, ALock >= 4x both competitors",
+            alock[-1] >= 4 * spin[-1] and alock[-1] >= 4 * mcs[-1])
+    if len(alock) >= 3:
+        result.check(
+            f"panel ({panel}): ALock scales with threads",
+            alock[-1] > alock[0])

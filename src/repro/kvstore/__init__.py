@@ -1,0 +1,23 @@
+"""A sharded key-value store built on the lock primitives.
+
+The paper's introduction motivates ALock with RDMA data repositories
+(FaRM-style stores) that today need loopback or RPCs to keep local and
+remote accesses atomic.  This package is that application: keys hash to
+fixed-size buckets striped across the cluster, each bucket guarded by a
+lock of any registered kind; readers and writers — local threads with
+shared-memory ops, remote threads with verbs — synchronize purely
+through the lock.
+
+Correctness witnesses mirror the lock table's: every record carries a
+version word incremented under the lock, and a checksum word that must
+always equal ``value + version`` — a torn or lost update breaks the
+equation and :meth:`ShardedKVStore.audit` finds it.
+
+Multi-key transfers take both bucket locks in *global bucket order*
+(the classic deadlock-avoidance discipline); with ALock this requires
+the ``allow_nesting`` descriptor-pool extension.
+"""
+
+from repro.kvstore.store import KVConfig, ShardedKVStore
+
+__all__ = ["ShardedKVStore", "KVConfig"]

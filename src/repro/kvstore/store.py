@@ -1,0 +1,271 @@
+"""Sharded key-value store implementation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.common.errors import ConfigError
+from repro.locks.base import make_lock
+from repro.memory.layout import StructLayout, WordField
+from repro.memory.pointer import ptr_addr
+from repro.memory.region import to_signed
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster import Cluster, ThreadContext
+
+#: One bucket record: the value, a seqlock-style version (odd while a
+#: write is in progress, even when stable; +2 per completed write), and
+#: a checksum that must satisfy ``checksum = value + version`` (mod
+#: 2^64) at every even version — a torn/lost update breaks one of the
+#: two invariants.
+KV_RECORD = StructLayout("KVRecord", 64, (
+    WordField("value", 0, signed=True),
+    WordField("version", 8),
+    WordField("checksum", 16),
+))
+
+_MASK64 = (1 << 64) - 1
+#: Knuth multiplicative hash over integer keys.
+_HASH_MULT = 2654435761
+
+
+@dataclass(frozen=True)
+class KVConfig:
+    """Store shape and locking choice.
+
+    Attributes:
+        n_buckets: fixed bucket count (striped across nodes; >= n_nodes).
+        lock_kind: registered lock type guarding each bucket.  For
+            multi-key transfers with "alock", nesting is enabled
+            automatically.
+        lock_options: forwarded to the lock factory.
+    """
+
+    n_buckets: int = 64
+    lock_kind: str = "alock"
+    lock_options: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.n_buckets < 1:
+            raise ConfigError("n_buckets must be >= 1")
+        if isinstance(self.lock_options, dict):
+            object.__setattr__(self, "lock_options",
+                               tuple(sorted(self.lock_options.items())))
+
+
+@dataclass
+class _Bucket:
+    index: int
+    home_node: int
+    lock: object
+    record_ptr: int
+
+
+class ShardedKVStore:
+    """The store: buckets striped across nodes, one lock per bucket."""
+
+    def __init__(self, cluster: "Cluster", config: Optional[KVConfig] = None):
+        self.cluster = cluster
+        self.config = config or KVConfig()
+        if self.config.n_buckets < cluster.n_nodes:
+            raise ConfigError("need n_buckets >= n_nodes for striping")
+        options = dict(self.config.lock_options)
+        if self.config.lock_kind == "alock":
+            # multi-key ops hold two bucket locks at once
+            options.setdefault("allow_nesting", True)
+        self.buckets: list[_Bucket] = []
+        for i in range(self.config.n_buckets):
+            node = i % cluster.n_nodes
+            lock = make_lock(self.config.lock_kind, cluster, node,
+                             name=f"kv[{i}]@n{node}", **options)
+            record_ptr = cluster.alloc_on(node, KV_RECORD.size)
+            self.buckets.append(_Bucket(i, node, lock, record_ptr))
+        # statistics
+        self.gets = 0
+        self.puts = 0
+        self.transfers = 0
+        self.optimistic_gets = 0
+        self.optimistic_retries = 0
+        self.optimistic_fallbacks = 0
+
+    # -- key mapping ---------------------------------------------------
+    def bucket_of(self, key: int) -> int:
+        return ((key * _HASH_MULT) & _MASK64) % self.config.n_buckets
+
+    def home_of(self, key: int) -> int:
+        """Node holding ``key`` (workload generators use this to build
+        locality-controlled key streams)."""
+        return self.buckets[self.bucket_of(key)].home_node
+
+    def local_keys(self, node: int, count: int, start: int = 0) -> list[int]:
+        """The first ``count`` integer keys >= start homed on ``node``."""
+        out = []
+        key = start
+        while len(out) < count:
+            if self.home_of(key) == node:
+                out.append(key)
+            key += 1
+        return out
+
+    # -- record access under the bucket lock -------------------------------
+    def _field_ptr(self, bucket: _Bucket, name: str) -> int:
+        return bucket.record_ptr + KV_RECORD.offset_of(name)
+
+    def _read_record(self, ctx: "ThreadContext", bucket: _Bucket):
+        """(value, version, checksum) using the thread's natural family."""
+        local = ctx.is_local(bucket.record_ptr)
+        read = ctx.read if local else ctx.r_read
+        value = yield from read(self._field_ptr(bucket, "value"), signed=True)
+        version = yield from read(self._field_ptr(bucket, "version"))
+        checksum = yield from read(self._field_ptr(bucket, "checksum"))
+        return value, version, checksum
+
+    def _write_record(self, ctx: "ThreadContext", bucket: _Bucket,
+                      value: int, old_version: int):
+        """Seqlock write protocol (under the bucket lock): bump the
+        version to odd first, mutate, then publish the new even version
+        last — so lock-free optimistic readers can detect concurrent
+        writes by version parity/change.  Returns the new version."""
+        local = ctx.is_local(bucket.record_ptr)
+        write = ctx.write if local else ctx.r_write
+        new_version = old_version + 2
+        yield from write(self._field_ptr(bucket, "version"), old_version + 1)
+        yield from write(self._field_ptr(bucket, "value"), value)
+        yield from write(self._field_ptr(bucket, "checksum"),
+                         (value + new_version) & _MASK64)
+        yield from write(self._field_ptr(bucket, "version"), new_version)
+        return new_version
+
+    # -- operations ----------------------------------------------------------
+    def get(self, ctx: "ThreadContext", key: int):
+        """Read ``key``'s value under its bucket lock; returns (value,
+        version).  Raises if the record is torn — which a correct lock
+        makes impossible."""
+        bucket = self.buckets[self.bucket_of(key)]
+        yield from bucket.lock.lock(ctx)
+        try:
+            value, version, checksum = yield from self._read_record(ctx, bucket)
+        finally:
+            yield from bucket.lock.unlock(ctx)
+        if checksum != (value + version) & _MASK64:
+            raise AssertionError(
+                f"torn read on bucket {bucket.index}: value={value} "
+                f"version={version} checksum={checksum}")
+        self.gets += 1
+        return value, version
+
+    def put(self, ctx: "ThreadContext", key: int, value: int):
+        """Write ``key`` = value under its bucket lock; returns the new
+        (even) version."""
+        bucket = self.buckets[self.bucket_of(key)]
+        yield from bucket.lock.lock(ctx)
+        try:
+            _old, version, _ck = yield from self._read_record(ctx, bucket)
+            new_version = yield from self._write_record(ctx, bucket, value,
+                                                        version)
+        finally:
+            yield from bucket.lock.unlock(ctx)
+        self.puts += 1
+        return new_version
+
+    def add(self, ctx: "ThreadContext", key: int, delta: int):
+        """Read-modify-write ``key`` += delta under the lock; returns the
+        new value."""
+        bucket = self.buckets[self.bucket_of(key)]
+        yield from bucket.lock.lock(ctx)
+        try:
+            value, version, _ck = yield from self._read_record(ctx, bucket)
+            yield from self._write_record(ctx, bucket, value + delta, version)
+        finally:
+            yield from bucket.lock.unlock(ctx)
+        self.puts += 1
+        return value + delta
+
+    def transfer(self, ctx: "ThreadContext", key_from: int, key_to: int,
+                 amount: int):
+        """Atomically move ``amount`` between two keys: both bucket locks
+        taken in global bucket order (deadlock avoidance).  Keys mapping
+        to the same bucket degrade to a single-lock RMW."""
+        b_from = self.buckets[self.bucket_of(key_from)]
+        b_to = self.buckets[self.bucket_of(key_to)]
+        if b_from.index == b_to.index:
+            yield from self.add(ctx, key_from, 0)  # touch for the version
+            self.transfers += 1
+            return
+        first, second = sorted((b_from, b_to), key=lambda b: b.index)
+        yield from first.lock.lock(ctx)
+        try:
+            yield from second.lock.lock(ctx)
+            try:
+                v_from, ver_from, _ = yield from self._read_record(ctx, b_from)
+                v_to, ver_to, _ = yield from self._read_record(ctx, b_to)
+                yield from self._write_record(ctx, b_from, v_from - amount,
+                                              ver_from)
+                yield from self._write_record(ctx, b_to, v_to + amount,
+                                              ver_to)
+            finally:
+                yield from second.lock.unlock(ctx)
+        finally:
+            yield from first.lock.unlock(ctx)
+        self.transfers += 1
+
+    def get_optimistic(self, ctx: "ThreadContext", key: int,
+                       max_retries: int = 16):
+        """FaRM-style lock-free read: seqlock validation instead of the
+        bucket lock (the one-sided-read design the paper's related work
+        contrasts with locking).
+
+        Protocol: read version (must be even = no write in progress),
+        read value and checksum, re-read version; accept iff the version
+        is unchanged and the checksum equation holds.  Retries on
+        conflict; falls back to the locked :meth:`get` after
+        ``max_retries`` (writer storms).  Returns (value, version).
+        """
+        bucket = self.buckets[self.bucket_of(key)]
+        local = ctx.is_local(bucket.record_ptr)
+        read = ctx.read if local else ctx.r_read
+        version_ptr = self._field_ptr(bucket, "version")
+        for _attempt in range(max_retries):
+            v1 = yield from read(version_ptr)
+            if v1 % 2 == 1:                      # write in flight
+                self.optimistic_retries += 1
+                continue
+            value = yield from read(self._field_ptr(bucket, "value"),
+                                    signed=True)
+            checksum = yield from read(self._field_ptr(bucket, "checksum"))
+            v2 = yield from read(version_ptr)
+            if v1 == v2 and checksum == (value + v1) & _MASK64:
+                self.optimistic_gets += 1
+                return value, v1
+            self.optimistic_retries += 1
+        self.optimistic_fallbacks += 1
+        result = yield from self.get(ctx, key)
+        return result
+
+    # -- oracle verification (no simulated cost) -----------------------------
+    def peek_value(self, key: int) -> int:
+        bucket = self.buckets[self.bucket_of(key)]
+        region = self.cluster.regions[bucket.home_node]
+        return to_signed(region.peek(ptr_addr(self._field_ptr(bucket, "value"))))
+
+    def total_value(self) -> int:
+        """Sum of all bucket values (conserved by transfers)."""
+        total = 0
+        for bucket in self.buckets:
+            region = self.cluster.regions[bucket.home_node]
+            total += to_signed(region.peek(ptr_addr(self._field_ptr(bucket, "value"))))
+        return total
+
+    def audit(self) -> list[int]:
+        """Bucket indices whose checksum equation is broken (always empty
+        under a correct lock)."""
+        broken = []
+        for bucket in self.buckets:
+            region = self.cluster.regions[bucket.home_node]
+            value = region.peek(ptr_addr(self._field_ptr(bucket, "value")))
+            version = region.peek(ptr_addr(self._field_ptr(bucket, "version")))
+            checksum = region.peek(ptr_addr(self._field_ptr(bucket, "checksum")))
+            if checksum != (value + version) & _MASK64:
+                broken.append(bucket.index)
+        return broken

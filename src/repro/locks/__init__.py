@@ -1,0 +1,54 @@
+"""Distributed lock primitives.
+
+* :class:`~repro.locks.alock.ALock` — the paper's contribution: the
+  hierarchical local/remote-cohort lock (budgeted MCS queues embedded in
+  a modified Peterson's algorithm).
+* :class:`~repro.locks.baselines.RdmaSpinlock` — the rCAS-retry spinlock
+  the paper compares against (all ops via RDMA, loopback for local
+  memory).
+* :class:`~repro.locks.baselines.RdmaMcsLock` — the RDMA-ported MCS
+  queue lock baseline.
+
+All locks share the :class:`~repro.locks.base.DistributedLock` interface:
+``lock(ctx)``/``unlock(ctx)`` generators driven inside simulation
+processes.  ``make_lock`` builds any of them by name — the experiment
+harness's extension point.
+"""
+
+from repro.locks.base import DistributedLock, LOCK_TYPES, make_lock, register_lock_type
+from repro.locks.layout import (
+    ALOCK_LAYOUT,
+    COHORT_LOCAL,
+    COHORT_REMOTE,
+    DESCRIPTOR_LAYOUT,
+    MCS_LAYOUT,
+    SPINLOCK_LAYOUT,
+)
+from repro.locks.alock import ALock
+from repro.locks.baselines import RdmaMcsLock, RdmaSpinlock
+from repro.locks.extensions import (
+    BakeryLock,
+    FilterLock,
+    MixedAtomicLock,
+    RpcLock,
+)
+
+__all__ = [
+    "DistributedLock",
+    "make_lock",
+    "register_lock_type",
+    "LOCK_TYPES",
+    "ALock",
+    "RdmaSpinlock",
+    "RdmaMcsLock",
+    "FilterLock",
+    "BakeryLock",
+    "RpcLock",
+    "MixedAtomicLock",
+    "ALOCK_LAYOUT",
+    "DESCRIPTOR_LAYOUT",
+    "SPINLOCK_LAYOUT",
+    "MCS_LAYOUT",
+    "COHORT_LOCAL",
+    "COHORT_REMOTE",
+]

@@ -1,0 +1,15 @@
+"""The ALock: asymmetric lock primitive (paper §5).
+
+Composition (Algorithms 1–4):
+
+* two budgeted MCS queue locks — one per cohort (local / remote), their
+  tails embedded in the ALock record where they double as Peterson flags;
+* a modified Peterson's algorithm between the two cohort leaders, with a
+  ``victim`` word and a ``pReacquire`` operation that enforces the
+  budget-based fairness policy.
+"""
+
+from repro.locks.alock.alock import ALock
+from repro.locks.alock.descriptors import Descriptor, descriptor_pair
+
+__all__ = ["ALock", "Descriptor", "descriptor_pair"]

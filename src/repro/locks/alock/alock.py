@@ -1,0 +1,254 @@
+"""The ALock (paper §5, Algorithms 1–4).
+
+``Lock()`` first classifies the access by the pointer's home node
+(local vs remote — Definitions 4.1/4.2), then
+
+1. competes in that cohort's budgeted **MCS queue** (Algorithm 3): swap
+   the thread's descriptor onto the cohort tail; if the queue was empty
+   the thread leads the cohort, otherwise it links behind its
+   predecessor and spins *locally* on its descriptor's budget until the
+   lock is passed;
+2. if it leads the cohort (queue was empty), or if it was passed a
+   budget of 0 (cohort must yield), competes in the modified
+   **Peterson's algorithm** (Algorithm 4) against the other cohort's
+   leader.
+
+``Unlock()`` CASes the cohort tail back to NULL — which simultaneously
+clears the Peterson flag — or, if a successor has queued, passes the
+lock by writing ``budget − 1`` into the successor's descriptor.
+
+The atomicity discipline (why this is correct without loopback): every
+ALock word is RMW'd by at most one *API family* — ``tail_l`` only by
+local CAS, ``tail_r`` only by rCAS, ``victim`` only by plain
+(local or remote) reads/writes; descriptor words see plain writes by the
+predecessor and plain reads by the owner.  Only the 'Yes' cells of
+Table 1 are ever exercised, which the cluster's race auditor verifies on
+every test run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.errors import ConfigError, ProtocolError
+from repro.locks.alock import peterson
+from repro.locks.alock.descriptors import (
+    Descriptor,
+    OFF_BUDGET,
+    OFF_NEXT,
+    WAITING,
+    descriptor_pair,
+    descriptor_pools,
+)
+from repro.locks.base import DistributedLock, register_lock_type
+from repro.locks.layout import ALOCK_LAYOUT
+from repro.memory.pointer import RdmaPointer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster import Cluster, ThreadContext
+
+#: Paper's chosen budgets after the Fig. 4 sweep (§6.1).
+DEFAULT_LOCAL_BUDGET = 5
+DEFAULT_REMOTE_BUDGET = 20
+
+
+class ALock(DistributedLock):
+    """One ALock instance: a 64-byte record on ``home_node``.
+
+    Args:
+        cluster: the cluster to allocate in.
+        home_node: node holding the lock record (locality is judged
+            against this).
+        local_budget: consecutive local-cohort passes before yielding.
+        remote_budget: consecutive remote-cohort passes before yielding.
+        strict_remote_rdma: when True (Algorithm 3 verbatim), the remote
+            cohort uses RDMA verbs for *all* its lock interactions, even
+            when a queue neighbor's descriptor happens to live on the
+            caller's own node (loopback).  False short-circuits those to
+            shared-memory ops — an ablation, not the paper's algorithm.
+        allow_nesting: the paper's Algorithm 1 gives each thread one
+            descriptor per cohort, capping it at one in-flight
+            acquisition per flavor.  True draws descriptors from a
+            per-thread pool instead, so a thread may hold several ALocks
+            at once (lock-ordering discipline is the caller's job) — an
+            extension used by the KV store's multi-bucket operations.
+    """
+
+    kind = "alock"
+
+    def __init__(self, cluster: "Cluster", home_node: int, name: str = "",
+                 local_budget: int = DEFAULT_LOCAL_BUDGET,
+                 remote_budget: int = DEFAULT_REMOTE_BUDGET,
+                 strict_remote_rdma: bool = True,
+                 allow_nesting: bool = False):
+        super().__init__(cluster, home_node, name)
+        if local_budget < 1 or remote_budget < 1:
+            raise ConfigError("budgets must be >= 1 (0 would deadlock the cohort)")
+        self.local_budget = local_budget
+        self.remote_budget = remote_budget
+        self.strict_remote_rdma = strict_remote_rdma
+        self.allow_nesting = allow_nesting
+        self.base_ptr = cluster.alloc_on(home_node, ALOCK_LAYOUT.size)
+        self.tail_r_ptr = ALOCK_LAYOUT.addr_of(self.base_ptr, "tail_r")
+        self.tail_l_ptr = ALOCK_LAYOUT.addr_of(self.base_ptr, "tail_l")
+        self.victim_ptr = ALOCK_LAYOUT.addr_of(self.base_ptr, "victim")
+        self._sessions: dict[int, tuple[str, Descriptor]] = {}
+        # statistics (per-lock protocol behaviour, used by ablations)
+        self.passes = {"local": 0, "remote": 0}
+        self.reacquires = {"local": 0, "remote": 0}
+        self.leader_acquires = {"local": 0, "remote": 0}
+
+    # -- public protocol ----------------------------------------------------
+    def lock(self, ctx: "ThreadContext"):
+        """Algorithm 2 ``Lock(rdma_ptr<ALock>)``."""
+        if ctx.gid in self._sessions:
+            raise ProtocolError(f"{ctx.actor} re-locking {self.name} (not reentrant)")
+        if self.allow_nesting:
+            local_pool, remote_pool = descriptor_pools(ctx)
+        else:
+            local_desc, remote_desc = descriptor_pair(ctx)
+        if ctx.is_local(self.base_ptr):
+            desc = local_pool.acquire() if self.allow_nesting else local_desc
+            yield from self._lock_local(ctx, desc)
+            cohort = "local"
+        else:
+            desc = remote_pool.acquire() if self.allow_nesting else remote_desc
+            yield from self._lock_remote(ctx, desc)
+            cohort = "remote"
+        # §5.2: atomic thread fence after locking.
+        yield from ctx.fence()
+        self._sessions[ctx.gid] = (cohort, desc)
+        self._note_acquired(ctx)
+        ctx.trace("cs.enter", self.name)
+
+    def unlock(self, ctx: "ThreadContext"):
+        """Algorithm 2 ``Unlock(rdma_ptr<ALock>)``."""
+        session = self._sessions.pop(ctx.gid, None)
+        if session is None:
+            raise ProtocolError(f"{ctx.actor} unlocking {self.name} without holding it")
+        cohort, desc = session
+        # §5.2: atomic thread fence before unlocking.
+        yield from ctx.fence()
+        # The oracle is updated before the release op is issued: the op's
+        # linearization point is when it *lands*, which a successor can
+        # observe before this generator resumes (see base.py).
+        self._note_released(ctx)
+        ctx.trace("cs.exit", self.name)
+        if cohort == "local":
+            yield from self._unlock_local(ctx, desc)
+        else:
+            yield from self._unlock_remote(ctx, desc)
+        if self.allow_nesting:
+            pools = descriptor_pools(ctx)
+            (pools[0] if cohort == "local" else pools[1]).release(desc)
+
+    # -- remote cohort (Algorithm 3 verbatim) ------------------------------
+    def _swap_tail_remote(self, ctx: "ThreadContext", new: int):
+        """Atomic swap emulated by an rCAS retry loop (IB verbs have CAS
+        and FAA but no swap).  Returns the previous tail value."""
+        expected = 0
+        while True:
+            old = yield from ctx.r_cas(self.tail_r_ptr, expected, new)
+            if old == expected:
+                return old
+            expected = old
+
+    def _lock_remote(self, ctx: "ThreadContext", desc: Descriptor):
+        yield from desc.begin()
+        prev = yield from self._swap_tail_remote(ctx, desc.ptr)
+        ctx.trace("mcs.swap", f"{self.name} cohort=REMOTE prev={RdmaPointer(prev)}")
+        if prev == 0:
+            # Queue was empty: cohort leader; lock was NOT passed.
+            yield from ctx.write(desc.budget_ptr, self.remote_budget)
+            self.leader_acquires["remote"] += 1
+            yield from peterson.acquire_remote(ctx, self)
+            return
+        # Link behind the predecessor, then spin locally on our budget.
+        yield from self._neighbor_write(ctx, prev + OFF_NEXT, desc.ptr)
+        budget = yield from ctx.wait_local(
+            desc.budget_ptr, lambda b: b != WAITING, signed=True)
+        self.passes["remote"] += 1
+        ctx.trace("mcs.passed", f"{self.name} cohort=REMOTE budget={budget}")
+        if budget == 0:
+            # Budget exhausted: yield to the other cohort, then reacquire.
+            self.reacquires["remote"] += 1
+            yield from peterson.acquire_remote(ctx, self)
+            yield from ctx.write(desc.budget_ptr, self.remote_budget)
+
+    def _unlock_remote(self, ctx: "ThreadContext", desc: Descriptor):
+        old = yield from ctx.r_cas(self.tail_r_ptr, desc.ptr, 0)
+        if old != desc.ptr:
+            # A successor is enqueued (or still linking): wait for the
+            # link, then pass the lock with a decremented budget.
+            nxt = yield from ctx.wait_local(desc.next_ptr, lambda p: p != 0)
+            budget = yield from ctx.read(desc.budget_ptr, signed=True)
+            yield from self._neighbor_write(ctx, nxt + OFF_BUDGET, budget - 1)
+            ctx.trace("mcs.pass", f"{self.name} cohort=REMOTE -> budget {budget - 1}")
+        else:
+            ctx.trace("mcs.release", f"{self.name} cohort=REMOTE tail cleared")
+        desc.end()
+
+    def _neighbor_write(self, ctx: "ThreadContext", ptr: int, value: int):
+        """Write into a queue neighbor's descriptor from the remote
+        cohort.  Algorithm 3 uses ``rWrite`` unconditionally; the
+        non-strict ablation short-circuits same-node targets."""
+        if self.strict_remote_rdma or not ctx.is_local(ptr):
+            yield from ctx.r_write(ptr, value)
+        else:
+            yield from ctx.write(ptr, value)
+
+    # -- local cohort ("each remote access replaced with a local one") ----
+    def _swap_tail_local(self, ctx: "ThreadContext", new: int):
+        expected = 0
+        while True:
+            old = yield from ctx.cas(self.tail_l_ptr, expected, new)
+            if old == expected:
+                return old
+            expected = old
+
+    def _lock_local(self, ctx: "ThreadContext", desc: Descriptor):
+        yield from desc.begin()
+        prev = yield from self._swap_tail_local(ctx, desc.ptr)
+        ctx.trace("mcs.swap", f"{self.name} cohort=LOCAL prev={RdmaPointer(prev)}")
+        if prev == 0:
+            yield from ctx.write(desc.budget_ptr, self.local_budget)
+            self.leader_acquires["local"] += 1
+            yield from peterson.acquire_local(ctx, self)
+            return
+        # Predecessor is necessarily a thread on this same node.
+        yield from ctx.write(prev + OFF_NEXT, desc.ptr)
+        budget = yield from ctx.wait_local(
+            desc.budget_ptr, lambda b: b != WAITING, signed=True)
+        self.passes["local"] += 1
+        ctx.trace("mcs.passed", f"{self.name} cohort=LOCAL budget={budget}")
+        if budget == 0:
+            self.reacquires["local"] += 1
+            yield from peterson.acquire_local(ctx, self)
+            yield from ctx.write(desc.budget_ptr, self.local_budget)
+
+    def _unlock_local(self, ctx: "ThreadContext", desc: Descriptor):
+        old = yield from ctx.cas(self.tail_l_ptr, desc.ptr, 0)
+        if old != desc.ptr:
+            nxt = yield from ctx.wait_local(desc.next_ptr, lambda p: p != 0)
+            budget = yield from ctx.read(desc.budget_ptr, signed=True)
+            yield from ctx.write(nxt + OFF_BUDGET, budget - 1)
+            ctx.trace("mcs.pass", f"{self.name} cohort=LOCAL -> budget {budget - 1}")
+        else:
+            ctx.trace("mcs.release", f"{self.name} cohort=LOCAL tail cleared")
+        desc.end()
+
+    # -- introspection -------------------------------------------------------
+    def is_locked(self) -> bool:
+        """``qIsLocked`` over both cohorts (oracle read, no simulated cost)."""
+        region = self.cluster.regions[self.home_node]
+        from repro.memory.pointer import ptr_addr
+
+        return (region.peek(ptr_addr(self.tail_r_ptr)) != 0
+                or region.peek(ptr_addr(self.tail_l_ptr)) != 0)
+
+
+def _make_alock(cluster, home_node, **options):
+    return ALock(cluster, home_node, **options)
+
+
+register_lock_type("alock", _make_alock)

@@ -1,0 +1,132 @@
+"""MCS descriptors (paper Algorithm 1).
+
+Each thread owns exactly **two** descriptors for its entire lifetime —
+one used when it is in the local cohort of some ALock, one for the
+remote cohort (Algorithm 1 allocates one ``LocalDescriptor`` and one
+``RemoteDescriptor`` per thread).  One pair suffices because a thread
+waits on or holds at most one lock at a time; the pool enforces that
+invariant and raises :class:`ProtocolError` on violations instead of
+corrupting a queue.
+
+Descriptors live in the *owner's* node memory: the owner spins on
+``budget`` with local reads while the predecessor — who may be anywhere —
+writes it (remotely for the remote cohort).  That placement is what makes
+"spin locally" possible for both cohorts.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.errors import ProtocolError
+from repro.locks.layout import DESCRIPTOR_LAYOUT
+from repro.memory.pointer import RdmaPointer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster import ThreadContext
+
+#: Sentinel budget meaning "enqueued, waiting for the lock to be passed".
+WAITING = -1
+
+OFF_BUDGET = DESCRIPTOR_LAYOUT.offset_of("budget")
+OFF_NEXT = DESCRIPTOR_LAYOUT.offset_of("next")
+
+
+class Descriptor:
+    """One thread's descriptor for one cohort flavor."""
+
+    def __init__(self, ctx: "ThreadContext", flavor: str):
+        self.ctx = ctx
+        self.flavor = flavor  # "local" | "remote"
+        self.ptr = ctx.cluster.regions[ctx.node_id].alloc_ptr(DESCRIPTOR_LAYOUT.size)
+        self.in_use = False
+
+    @property
+    def budget_ptr(self) -> int:
+        return self.ptr + OFF_BUDGET
+
+    @property
+    def next_ptr(self) -> int:
+        return self.ptr + OFF_NEXT
+
+    def begin(self):
+        """Reset for a fresh enqueue (Algorithm 3 line 2): budget = -1,
+        next = NULL.  Local writes — the descriptor is our own memory.
+        Generator; drives the cost of the two stores."""
+        if self.in_use:
+            raise ProtocolError(
+                f"{self.ctx.actor}: {self.flavor} descriptor reused while still "
+                f"enqueued (a thread can wait on only one lock at a time)")
+        self.in_use = True
+        yield from self.ctx.write(self.budget_ptr, WAITING)
+        yield from self.ctx.write(self.next_ptr, 0)
+
+    def end(self) -> None:
+        self.in_use = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Descriptor {self.flavor} of {self.ctx.actor} at {RdmaPointer(self.ptr)}>"
+
+
+def descriptor_pair(ctx: "ThreadContext") -> tuple[Descriptor, Descriptor]:
+    """The thread's (local, remote) descriptor pair, allocated lazily on
+    first use and cached on the context."""
+    pair = getattr(ctx, "_alock_descriptors", None)
+    if pair is None:
+        pair = (Descriptor(ctx, "local"), Descriptor(ctx, "remote"))
+        ctx._alock_descriptors = pair
+    return pair
+
+
+class DescriptorPool:
+    """Per-(thread, flavor) pool enabling *nested* ALock acquisitions.
+
+    The paper's Algorithm 1 gives each thread exactly one descriptor per
+    cohort flavor, which caps a thread at one in-flight acquisition per
+    flavor — enough for the lock-table benchmark, but not for
+    applications that hold two locks at once (e.g. the KV store's
+    two-bucket transfer).  A descriptor is just a 64-byte record, so the
+    natural extension is a small pool: each nested acquisition takes the
+    next free descriptor and returns it on release.
+
+    ``capacity=1`` reproduces the paper's single-descriptor discipline
+    exactly (reuse raises ProtocolError); ALock's ``allow_nesting``
+    option switches to an unbounded pool.
+    """
+
+    def __init__(self, ctx: "ThreadContext", flavor: str, capacity: int = 0):
+        self.ctx = ctx
+        self.flavor = flavor
+        self.capacity = capacity  # 0 = unbounded
+        self._free: list[Descriptor] = []
+        self._allocated = 0
+
+    def acquire(self) -> Descriptor:
+        """A free descriptor (allocating a new record when the pool is
+        empty and under capacity)."""
+        if self._free:
+            return self._free.pop()
+        if self.capacity and self._allocated >= self.capacity:
+            raise ProtocolError(
+                f"{self.ctx.actor}: all {self.capacity} {self.flavor} "
+                f"descriptor(s) in use — nested acquisition beyond the "
+                f"pool capacity")
+        self._allocated += 1
+        return Descriptor(self.ctx, self.flavor)
+
+    def release(self, desc: Descriptor) -> None:
+        self._free.append(desc)
+
+    @property
+    def allocated(self) -> int:
+        return self._allocated
+
+
+def descriptor_pools(ctx: "ThreadContext") -> tuple[DescriptorPool, DescriptorPool]:
+    """The thread's (local, remote) descriptor pools for nesting-enabled
+    ALocks; lazily created, shared across locks."""
+    pools = getattr(ctx, "_alock_descriptor_pools", None)
+    if pools is None:
+        pools = (DescriptorPool(ctx, "local"), DescriptorPool(ctx, "remote"))
+        ctx._alock_descriptor_pools = pools
+    return pools

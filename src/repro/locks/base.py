@@ -1,0 +1,93 @@
+"""Common lock interface, holder bookkeeping, and the lock-type registry.
+
+Locks are *handles* over a 64-byte record in some node's RDMA memory.
+``lock(ctx)``/``unlock(ctx)`` are generators driven with ``yield from``
+inside a simulation process.  The base class tracks the current holder
+to catch protocol misuse (double lock, unlock by a non-holder) — pure
+bookkeeping outside the simulated timeline, mirroring what a debug build
+of the paper's artifact would assert.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, TYPE_CHECKING
+
+from repro.common.errors import ConfigError, ProtocolError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster import Cluster, ThreadContext
+
+
+class DistributedLock(ABC):
+    """A mutual-exclusion lock living on ``home_node`` of ``cluster``."""
+
+    #: short machine name used by the experiment harness ("alock", ...).
+    kind: str = "abstract"
+
+    def __init__(self, cluster: "Cluster", home_node: int, name: str = ""):
+        if not 0 <= home_node < cluster.n_nodes:
+            raise ConfigError(f"home node {home_node} outside cluster")
+        self.cluster = cluster
+        self.home_node = home_node
+        self.name = name or f"{self.kind}@n{home_node}"
+        self._holder_gid: int = 0
+        # statistics
+        self.acquisitions = 0
+
+    # -- protocol bookkeeping (not part of the simulated algorithm) -------
+    def _note_acquired(self, ctx: "ThreadContext") -> None:
+        if self._holder_gid != 0:
+            raise ProtocolError(
+                f"{self.name}: {ctx.actor} acquired while gid {self._holder_gid} "
+                f"still marked as holder — mutual exclusion broken")
+        self._holder_gid = ctx.gid
+        self.acquisitions += 1
+
+    def _note_released(self, ctx: "ThreadContext") -> None:
+        if self._holder_gid != ctx.gid:
+            raise ProtocolError(
+                f"{self.name}: unlock by {ctx.actor} (gid {ctx.gid}) but holder "
+                f"is gid {self._holder_gid}")
+        self._holder_gid = 0
+
+    @property
+    def holder_gid(self) -> int:
+        """gid of the current holder (0 = free) — oracle state for tests."""
+        return self._holder_gid
+
+    # -- the lock protocol ----------------------------------------------
+    @abstractmethod
+    def lock(self, ctx: "ThreadContext"):
+        """Acquire; generator, returns when the critical section may start."""
+
+    @abstractmethod
+    def unlock(self, ctx: "ThreadContext"):
+        """Release; generator.  Caller must be the holder."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"
+
+
+#: name -> factory(cluster, home_node, **options) registry.
+LOCK_TYPES: dict[str, Callable[..., DistributedLock]] = {}
+
+
+def register_lock_type(kind: str, factory: Callable[..., DistributedLock]) -> None:
+    """Register a lock implementation under ``kind`` for :func:`make_lock`.
+    Benchmarks and the lock table construct locks by name so new
+    primitives drop in without touching the harness."""
+    if kind in LOCK_TYPES:
+        raise ConfigError(f"lock type {kind!r} already registered")
+    LOCK_TYPES[kind] = factory
+
+
+def make_lock(kind: str, cluster: "Cluster", home_node: int,
+              **options) -> DistributedLock:
+    """Construct a lock of the registered ``kind``."""
+    try:
+        factory = LOCK_TYPES[kind]
+    except KeyError:
+        raise ConfigError(
+            f"unknown lock type {kind!r}; known: {sorted(LOCK_TYPES)}") from None
+    return factory(cluster, home_node, **options)

@@ -1,0 +1,139 @@
+"""RDMA-ported MCS queue lock baseline (the paper's second competitor).
+
+The original MCS algorithm with the queue held in RDMA memory, and —
+per §6 — **every** operation performed through RDMA verbs regardless of
+locality: descriptor initialization, the tail swap (an rCAS retry loop:
+IB verbs have no atomic swap), linking behind the predecessor, and the
+wait itself, which polls the thread's *own* descriptor through loopback
+reads.  "Spinning locally" here means spinning on own-node memory via
+the local RNIC, which still occupies the NIC's pipelines and PCIe — the
+reason this baseline trails ALock even though its queue discipline
+matches.
+
+Passing the lock costs one rWrite of the successor's ``locked`` flag;
+release with no successor is one rCAS of the tail — identical op counts
+to the ALock's remote cohort, which is why the two track each other in
+medium-contention, low-locality workloads (Fig. 6 e/h/k).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.errors import ConfigError, ProtocolError
+from repro.locks.base import DistributedLock, register_lock_type
+from repro.locks.layout import MCS_DESCRIPTOR_LAYOUT, MCS_LAYOUT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster import Cluster, ThreadContext
+
+OFF_LOCKED = MCS_DESCRIPTOR_LAYOUT.offset_of("locked")
+OFF_NEXT = MCS_DESCRIPTOR_LAYOUT.offset_of("next")
+
+
+class _McsDescriptor:
+    """Per-thread descriptor for the baseline (distinct from ALock's)."""
+
+    def __init__(self, ctx: "ThreadContext"):
+        self.ctx = ctx
+        self.ptr = ctx.cluster.regions[ctx.node_id].alloc_ptr(MCS_DESCRIPTOR_LAYOUT.size)
+        self.in_use = False
+
+    @property
+    def locked_ptr(self) -> int:
+        return self.ptr + OFF_LOCKED
+
+    @property
+    def next_ptr(self) -> int:
+        return self.ptr + OFF_NEXT
+
+
+def _descriptor(ctx: "ThreadContext") -> _McsDescriptor:
+    desc = getattr(ctx, "_mcs_descriptor", None)
+    if desc is None:
+        desc = _McsDescriptor(ctx)
+        ctx._mcs_descriptor = desc
+    return desc
+
+
+class RdmaMcsLock(DistributedLock):
+    """One MCS lock: a tail word on ``home_node``.
+
+    Args:
+        poll_interval_ns: extra delay between loopback polls of the spin
+            flag; 0 (default) polls back-to-back, self-throttled by the
+            loopback latency itself.
+    """
+
+    kind = "mcs"
+
+    def __init__(self, cluster: "Cluster", home_node: int, name: str = "",
+                 poll_interval_ns: float = 0.0):
+        super().__init__(cluster, home_node, name)
+        if poll_interval_ns < 0:
+            raise ConfigError("poll_interval_ns must be >= 0")
+        self.poll_interval_ns = poll_interval_ns
+        self.base_ptr = cluster.alloc_on(home_node, MCS_LAYOUT.size)
+        self.tail_ptr = MCS_LAYOUT.addr_of(self.base_ptr, "tail")
+        self._sessions: dict[int, _McsDescriptor] = {}
+        # statistics
+        self.passes = 0
+        self.spin_polls = 0
+
+    def _poll(self, ctx: "ThreadContext", ptr: int, stop):
+        """Loopback-poll ``ptr`` until ``stop(value)``; returns the value."""
+        while True:
+            value = yield from ctx.r_read(ptr)
+            self.spin_polls += 1
+            if stop(value):
+                return value
+            if self.poll_interval_ns > 0:
+                yield ctx.env.timeout(self.poll_interval_ns)
+
+    def lock(self, ctx: "ThreadContext"):
+        if ctx.gid in self._sessions:
+            raise ProtocolError(f"{ctx.actor} re-locking {self.name}")
+        desc = _descriptor(ctx)
+        if desc.in_use:
+            raise ProtocolError(
+                f"{ctx.actor}: MCS descriptor reused while still enqueued")
+        desc.in_use = True
+        # Descriptor init — via RDMA (loopback), per the baseline's rules.
+        yield from ctx.r_write(desc.locked_ptr, 1)
+        yield from ctx.r_write(desc.next_ptr, 0)
+        # Swap onto the tail (rCAS retry loop).
+        expected = 0
+        while True:
+            old = yield from ctx.r_cas(self.tail_ptr, expected, desc.ptr)
+            if old == expected:
+                break
+            expected = old
+        prev = expected
+        if prev != 0:
+            yield from ctx.r_write(prev + OFF_NEXT, desc.ptr)
+            yield from self._poll(ctx, desc.locked_ptr, lambda v: v == 0)
+            self.passes += 1
+        yield from ctx.fence()
+        self._sessions[ctx.gid] = desc
+        self._note_acquired(ctx)
+        ctx.trace("cs.enter", self.name)
+
+    def unlock(self, ctx: "ThreadContext"):
+        desc = self._sessions.pop(ctx.gid, None)
+        if desc is None:
+            raise ProtocolError(f"{ctx.actor} unlocking {self.name} without holding it")
+        yield from ctx.fence()
+        self._note_released(ctx)
+        ctx.trace("cs.exit", self.name)
+        old = yield from ctx.r_cas(self.tail_ptr, desc.ptr, 0)
+        if old != desc.ptr:
+            nxt = yield from self._poll(ctx, desc.next_ptr, lambda v: v != 0)
+            yield from ctx.r_write(nxt + OFF_LOCKED, 0)
+        desc.in_use = False
+
+
+def _make_mcs(cluster, home_node, **options):
+    return RdmaMcsLock(cluster, home_node, **options)
+
+
+register_lock_type("mcs", _make_mcs)

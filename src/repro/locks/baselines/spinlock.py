@@ -1,0 +1,78 @@
+"""RDMA CAS spinlock baseline.
+
+The simplest RDMA lock and the first competitor in §6: acquire by
+repeating ``rCAS(word, 0, my_gid)`` until it succeeds, release with one
+``rWrite(word, 0)``.  Every attempt is a full one-sided round trip —
+through loopback when the lock is local — so waiting threads *remote
+spin*, flooding the target NIC.  Under contention this is the lock that
+collapses in Figs. 1, 5 and 6.
+
+``backoff_ns`` adds truncated binary exponential backoff between failed
+attempts (off by default, matching the paper's plain spinlock; the
+ablation benchmark turns it on to show backoff alone does not close the
+gap to ALock).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.common.errors import ConfigError, ProtocolError
+from repro.locks.base import DistributedLock, register_lock_type
+from repro.locks.layout import SPINLOCK_LAYOUT
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster import Cluster, ThreadContext
+
+
+class RdmaSpinlock(DistributedLock):
+    """One spinlock: a single word on ``home_node`` (0 = free, else the
+    holder's gid)."""
+
+    kind = "spinlock"
+
+    def __init__(self, cluster: "Cluster", home_node: int, name: str = "",
+                 backoff_ns: float = 0.0, max_backoff_ns: float = 50_000.0):
+        super().__init__(cluster, home_node, name)
+        if backoff_ns < 0 or max_backoff_ns < 0:
+            raise ConfigError("backoff parameters must be >= 0")
+        self.backoff_ns = backoff_ns
+        self.max_backoff_ns = max_backoff_ns
+        self.base_ptr = cluster.alloc_on(home_node, SPINLOCK_LAYOUT.size)
+        self.word_ptr = SPINLOCK_LAYOUT.addr_of(self.base_ptr, "word")
+        # statistics
+        self.cas_attempts = 0
+
+    def lock(self, ctx: "ThreadContext"):
+        attempts = 0
+        while True:
+            old = yield from ctx.r_cas(self.word_ptr, 0, ctx.gid)
+            self.cas_attempts += 1
+            attempts += 1
+            if old == 0:
+                break
+            if old == ctx.gid:
+                raise ProtocolError(f"{ctx.actor} re-locking {self.name}")
+            if self.backoff_ns > 0:
+                delay = min(self.backoff_ns * (1 << min(attempts, 16)),
+                            self.max_backoff_ns)
+                yield ctx.env.timeout(delay)
+        yield from ctx.fence()
+        self._note_acquired(ctx)
+        ctx.trace("cs.enter", f"{self.name} after {attempts} rCAS")
+
+    def unlock(self, ctx: "ThreadContext"):
+        if self.holder_gid != ctx.gid:
+            raise ProtocolError(f"{ctx.actor} unlocking {self.name} without holding it")
+        yield from ctx.fence()
+        # Oracle updated before the release op is issued (see base.py).
+        self._note_released(ctx)
+        ctx.trace("cs.exit", self.name)
+        yield from ctx.r_write(self.word_ptr, 0)
+
+
+def _make_spinlock(cluster, home_node, **options):
+    return RdmaSpinlock(cluster, home_node, **options)
+
+
+register_lock_type("spinlock", _make_spinlock)

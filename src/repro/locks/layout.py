@@ -1,0 +1,65 @@
+"""Memory layouts of all lock records (paper Fig. 3).
+
+Every record is padded to one 64-byte cache line: the paper pads all
+metadata "to prevent false cache-line sharing".  The ALock record embeds
+the Peterson state — the two cohort tails double as the Peterson flags
+(a non-NULL tail ⇔ that cohort is interested or holds the lock), plus
+the ``victim`` word.
+
+Crucially, no word of the ALock is ever the target of *both* a local RMW
+and a remote RMW:
+
+=============  =====================  ======================
+word           local cohort uses       remote cohort uses
+=============  =====================  ======================
+``tail_l``     ``CAS`` (swap)          ``rRead`` (Peterson check)
+``tail_r``     ``Read`` (Peterson)     ``rCAS`` (swap)
+``victim``     ``Read``/``Write``      ``rRead``/``rWrite``
+=============  =====================  ======================
+
+Only 'Yes' cells of Table 1 are exercised — the design insight that
+makes ALock correct without loopback.
+"""
+
+from __future__ import annotations
+
+from repro.memory.layout import StructLayout, WordField
+
+#: Victim-word values: which cohort yields.  (Any two distinct values
+#: work; the initial zero-filled word means "LOCAL is victim", which is
+#: harmless while both tails are NULL.)
+COHORT_LOCAL = 0
+COHORT_REMOTE = 1
+
+#: The ALock record (Fig. 3): remote tail, local tail, victim, padding.
+ALOCK_LAYOUT = StructLayout("ALock", 64, (
+    WordField("tail_r", 0),
+    WordField("tail_l", 8),
+    WordField("victim", 16),
+))
+
+#: MCS queue descriptor (Algorithm 1): budget (signed; -1 = waiting) and
+#: the next pointer forming the queue.  One remote + one local descriptor
+#: per thread, allocated in the thread's own node's RDMA memory so the
+#: owner spins on it with local reads while the predecessor writes it
+#: (possibly) remotely.
+DESCRIPTOR_LAYOUT = StructLayout("Descriptor", 64, (
+    WordField("budget", 0, signed=True),
+    WordField("next", 8),
+))
+
+#: Baseline spinlock: a single word (0 = free, owner gid otherwise).
+SPINLOCK_LAYOUT = StructLayout("Spinlock", 64, (
+    WordField("word", 0),
+))
+
+#: Baseline RDMA-MCS lock: just the queue tail.
+MCS_LAYOUT = StructLayout("McsLock", 64, (
+    WordField("tail", 0),
+))
+
+#: Baseline MCS descriptor: spin flag (1 = wait, 0 = lock passed) + next.
+MCS_DESCRIPTOR_LAYOUT = StructLayout("McsDescriptor", 64, (
+    WordField("locked", 0),
+    WordField("next", 8),
+))

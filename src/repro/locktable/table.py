@@ -1,0 +1,112 @@
+"""Distributed lock table implementation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, TYPE_CHECKING
+
+from repro.common.errors import ConfigError
+from repro.locks.base import DistributedLock, make_lock
+from repro.memory.pointer import ptr_addr
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster import Cluster, ThreadContext
+
+
+@dataclass
+class LockEntry:
+    """One table slot: the lock plus the 8-byte counter it guards (both
+    on the same home node, as in the paper's partitioned table)."""
+
+    index: int
+    home_node: int
+    lock: DistributedLock
+    counter_ptr: int
+
+
+class DistributedLockTable:
+    """``n_locks`` locks striped across the cluster's nodes.
+
+    The table size *is* the logical contention knob of §6: 20 locks =
+    high contention, 100 = medium, 1000 = low.
+
+    Args:
+        cluster: target cluster.
+        n_locks: table size (>= n_nodes so every node holds at least one
+            lock, which the locality-driven workload requires).
+        lock_kind: registered lock type name ("alock", "spinlock", "mcs").
+        lock_options: forwarded to the lock factory (e.g. budgets).
+    """
+
+    def __init__(self, cluster: "Cluster", n_locks: int, lock_kind: str,
+                 lock_options: Optional[dict] = None):
+        if n_locks < cluster.n_nodes:
+            raise ConfigError(
+                f"need n_locks >= n_nodes ({cluster.n_nodes}) so each node "
+                f"holds a partition; got {n_locks}")
+        self.cluster = cluster
+        self.lock_kind = lock_kind
+        options = dict(lock_options or {})
+        self.entries: list[LockEntry] = []
+        self._by_node: list[list[int]] = [[] for _ in range(cluster.n_nodes)]
+        for i in range(n_locks):
+            node = i % cluster.n_nodes
+            lock = make_lock(lock_kind, cluster, node,
+                             name=f"{lock_kind}[{i}]@n{node}", **options)
+            counter_ptr = cluster.alloc_on(node, 64)
+            self.entries.append(LockEntry(i, node, lock, counter_ptr))
+            self._by_node[node].append(i)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def entry(self, index: int) -> LockEntry:
+        return self.entries[index]
+
+    def local_indices(self, node: int) -> list[int]:
+        """Lock indices homed on ``node`` (local accesses for its threads)."""
+        return self._by_node[node]
+
+    def remote_indices(self, node: int) -> list[int]:
+        """Lock indices homed elsewhere (remote accesses for ``node``'s threads)."""
+        return [i for i in range(len(self.entries)) if self.entries[i].home_node != node]
+
+    # -- operations ----------------------------------------------------------
+    def acquire(self, ctx: "ThreadContext", index: int):
+        yield from self.entries[index].lock.lock(ctx)
+
+    def release(self, ctx: "ThreadContext", index: int):
+        yield from self.entries[index].lock.unlock(ctx)
+
+    def guarded_increment(self, ctx: "ThreadContext", index: int):
+        """Critical-section body: a deliberately non-atomic read-modify-
+        write of the guarded counter, using the thread's natural API
+        family.  Safe iff the lock provides mutual exclusion — lost
+        updates surface in :meth:`check_counters`."""
+        entry = self.entries[index]
+        if ctx.is_local(entry.counter_ptr):
+            value = yield from ctx.read(entry.counter_ptr)
+            yield from ctx.write(entry.counter_ptr, value + 1)
+        else:
+            value = yield from ctx.r_read(entry.counter_ptr)
+            yield from ctx.r_write(entry.counter_ptr, value + 1)
+
+    # -- verification ---------------------------------------------------
+    def counter_value(self, index: int) -> int:
+        """Oracle read of one guarded counter (no simulated cost)."""
+        entry = self.entries[index]
+        return self.cluster.regions[entry.home_node].peek(ptr_addr(entry.counter_ptr))
+
+    def total_count(self) -> int:
+        return sum(self.counter_value(i) for i in range(len(self.entries)))
+
+    def check_counters(self, expected_total: int) -> None:
+        """Assert no updates were lost: counter sum == completed CS count."""
+        actual = self.total_count()
+        if actual != expected_total:
+            raise AssertionError(
+                f"lost updates detected: guarded counters sum to {actual}, "
+                f"expected {expected_total} — mutual exclusion was violated")
+
+    def total_acquisitions(self) -> int:
+        return sum(e.lock.acquisitions for e in self.entries)

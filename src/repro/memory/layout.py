@@ -1,0 +1,97 @@
+"""Declarative 64-byte-aligned record layouts (paper Fig. 3).
+
+The paper pads every piece of lock metadata to 64 bytes so records never
+share a cache line (false sharing would reintroduce coherence traffic the
+design works to avoid).  :class:`StructLayout` captures a record as named
+8-byte word fields at fixed offsets plus padding, and converts between
+field names and absolute byte addresses.
+
+Signedness matters: descriptor ``budget`` fields hold -1 ("waiting"),
+while tail words hold unsigned packed pointers.  Fields declare it and
+the region accessors honor it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import MemoryError_
+from repro.memory.pointer import CACHE_LINE, WORD_SIZE
+
+
+@dataclass(frozen=True)
+class WordField:
+    """One 8-byte field inside a record.
+
+    Attributes:
+        name: field name (used for trace output and accessors).
+        offset: byte offset from the start of the record; 8-byte aligned.
+        signed: interpret the stored word as two's-complement int64.
+    """
+
+    name: str
+    offset: int
+    signed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.offset % WORD_SIZE != 0:
+            raise MemoryError_(
+                f"field {self.name!r} offset {self.offset} is not 8-byte aligned")
+
+
+@dataclass(frozen=True)
+class StructLayout:
+    """A fixed-size, cache-line-padded record layout.
+
+    >>> alock = StructLayout("ALock", 64, (
+    ...     WordField("tail_r", 0), WordField("tail_l", 8),
+    ...     WordField("victim", 16, signed=True)))
+    >>> alock.offset_of("victim")
+    16
+    """
+
+    name: str
+    size: int
+    fields: tuple[WordField, ...]
+    _by_name: dict = field(default=None, compare=False, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.size % CACHE_LINE != 0:
+            raise MemoryError_(
+                f"struct {self.name!r} size {self.size} is not a multiple of "
+                f"the {CACHE_LINE}B cache line (paper pads all metadata)")
+        seen: dict[str, WordField] = {}
+        used: set[int] = set()
+        for f in self.fields:
+            if f.name in seen:
+                raise MemoryError_(f"duplicate field name {f.name!r} in {self.name!r}")
+            if f.offset + WORD_SIZE > self.size:
+                raise MemoryError_(
+                    f"field {f.name!r} at offset {f.offset} overruns {self.size}B struct")
+            if f.offset in used:
+                raise MemoryError_(f"overlapping fields at offset {f.offset} in {self.name!r}")
+            used.add(f.offset)
+            seen[f.name] = f
+        object.__setattr__(self, "_by_name", seen)
+
+    def field_named(self, name: str) -> WordField:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise MemoryError_(f"struct {self.name!r} has no field {name!r}") from None
+
+    def offset_of(self, name: str) -> int:
+        return self.field_named(name).offset
+
+    def addr_of(self, base_addr: int, name: str) -> int:
+        """Absolute byte address of ``name`` for a record at ``base_addr``."""
+        return base_addr + self.field_named(name).offset
+
+    @property
+    def field_names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self.fields)
+
+    def spans_cache_lines(self) -> bool:
+        """True if the record straddles more than one cache line (only
+        possible for records larger than 64B)."""
+        return self.size > CACHE_LINE

@@ -1,0 +1,142 @@
+"""Audit the local/remote atomicity matrix (paper Table 1).
+
+RDMA guarantees atomicity between *8-byte* local and remote plain
+reads/writes, and among remote atomics themselves (the NIC serializes
+them), but **not** between a remote RMW and local writes/RMWs: at the
+target, a remote CAS is a read followed by a write with a window in
+between.  The 'No' cells of Table 1 are therefore:
+
+* local ``Write``  overlapping a remote ``CAS`` window
+* local ``RMW``    overlapping a remote ``CAS`` window
+
+The auditor watches every memory operation the simulation performs and
+records (mode ``"record"``) or raises on (mode ``"strict"``) any such
+overlap.  A correct RDMA lock — ALock included — must drive the auditor
+to zero violations; the deliberately broken lock in
+``examples/atomicity_pitfalls.py`` shows what the violations look like
+and how they translate into lost updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.common.errors import AtomicityViolation
+
+Mode = Literal["off", "record", "strict"]
+
+#: Local operation kinds reported to the auditor.
+LOCAL_READ = "Read"
+LOCAL_WRITE = "Write"
+LOCAL_RMW = "RMW"
+
+#: Cells of Table 1 that RDMA does *not* make atomic: (local op, remote op).
+UNSAFE_PAIRS: frozenset[tuple[str, str]] = frozenset({
+    (LOCAL_WRITE, "rCAS"),
+    (LOCAL_RMW, "rCAS"),
+})
+
+
+@dataclass(frozen=True)
+class RaceRecord:
+    """One observed violation of Table 1."""
+
+    time: float
+    node: int
+    addr: int
+    local_op: str
+    remote_op: str
+    local_actor: str
+    remote_actor: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"[{self.time:.1f} ns] n{self.node} addr {self.addr:#x}: "
+                f"local {self.local_op} by {self.local_actor} raced "
+                f"remote {self.remote_op} by {self.remote_actor}")
+
+
+@dataclass
+class _RmwWindow:
+    """An in-flight remote RMW at a target word: [start, end) in sim time."""
+
+    addr: int
+    op: str
+    actor: str
+    start: float
+    end: float
+
+
+@dataclass
+class RaceAuditor:
+    """Tracks in-flight remote RMW windows per node and checks local ops
+    against them.
+
+    One auditor serves the whole cluster; regions report with their node
+    id.  ``mode="off"`` short-circuits all bookkeeping for benchmark runs.
+    """
+
+    mode: Mode = "record"
+    violations: list[RaceRecord] = field(default_factory=list)
+    _windows: dict[tuple[int, int], list[_RmwWindow]] = field(default_factory=dict)
+    checked_ops: int = 0
+
+    # -- remote RMW windows ------------------------------------------------
+    def remote_rmw_begin(self, node: int, addr: int, op: str, actor: str,
+                         start: float, end: float) -> _RmwWindow:
+        """Register the read→write window of a remote RMW at its target."""
+        if self.mode == "off":
+            return _RmwWindow(addr, op, actor, start, end)
+        win = _RmwWindow(addr, op, actor, start, end)
+        self._windows.setdefault((node, addr), []).append(win)
+        return win
+
+    def remote_rmw_end(self, node: int, window: _RmwWindow) -> None:
+        """Retire a window once its write has landed."""
+        if self.mode == "off":
+            return
+        key = (node, window.addr)
+        wins = self._windows.get(key)
+        if wins:
+            try:
+                wins.remove(window)
+            except ValueError:
+                pass
+            if not wins:
+                del self._windows[key]
+
+    # -- local operations ----------------------------------------------------
+    def local_op(self, node: int, addr: int, op: str, actor: str, time: float) -> None:
+        """Check a local ``Read``/``Write``/``RMW`` at ``time`` against
+        in-flight remote RMW windows on the same word."""
+        if self.mode == "off":
+            return
+        self.checked_ops += 1
+        wins = self._windows.get((node, addr))
+        if not wins:
+            return
+        for win in wins:
+            if win.start <= time < win.end and (op, win.op) in UNSAFE_PAIRS:
+                rec = RaceRecord(time, node, addr, op, win.op, actor, win.actor)
+                self.violations.append(rec)
+                if self.mode == "strict":
+                    raise AtomicityViolation(
+                        str(rec), address=addr, local_op=op, remote_op=win.op)
+
+    # -- reporting -----------------------------------------------------------
+    @property
+    def violation_count(self) -> int:
+        return len(self.violations)
+
+    def assert_clean(self) -> None:
+        """Raise if any violation was recorded (test helper)."""
+        if self.violations:
+            first = self.violations[0]
+            raise AtomicityViolation(
+                f"{len(self.violations)} Table-1 violations; first: {first}",
+                address=first.addr, local_op=first.local_op, remote_op=first.remote_op)
+
+    def reset(self) -> None:
+        self.violations.clear()
+        self._windows.clear()
+        self.checked_ops = 0

@@ -1,0 +1,216 @@
+"""Per-node RDMA-accessible memory.
+
+A :class:`MemoryRegion` is the slab of memory one node registers with its
+RNIC.  It provides 8-byte word operations at three call sites:
+
+* **local API** — ``read``/``write``/``cas`` used by threads running on
+  the owning node (the paper's shared-memory operations).  These are
+  instantaneous at their linearization point; the *cost* (~100 ns) is
+  charged by the calling thread's context, not here.
+* **remote landing** — ``remote_read``/``remote_write`` plus the
+  two-phase ``remote_rmw_read``/``remote_rmw_commit`` used by the verbs
+  layer when an RDMA op arrives at the target NIC.  The two-phase RMW is
+  what makes a remote CAS *visibly* a read-then-write to concurrent local
+  code (Table 1).
+* **watchers** — one-shot events that fire when a word is written,
+  regardless of who wrote it.  This is how MCS "spin on a local
+  variable" is modeled without polling: the spinner parks on a watcher
+  and the predecessor's (possibly remote) write wakes it.
+
+All stored values are raw 64-bit patterns (numpy ``uint64``); helpers
+convert to/from two's-complement for signed fields such as budgets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.common.errors import MemoryError_
+from repro.memory.pointer import CACHE_LINE, WORD_SIZE, pack_ptr
+from repro.memory.races import LOCAL_READ, LOCAL_RMW, LOCAL_WRITE, RaceAuditor
+from repro.sim.core import Environment, Event
+
+_MASK64 = (1 << 64) - 1
+_SIGN_BIT = 1 << 63
+
+
+def to_signed(value: int) -> int:
+    """Interpret a raw 64-bit pattern as two's-complement int64."""
+    return value - (1 << 64) if value & _SIGN_BIT else value
+
+
+def from_signed(value: int) -> int:
+    """Encode a Python int (possibly negative) as a raw 64-bit pattern."""
+    return value & _MASK64
+
+
+class MemoryRegion:
+    """One node's RDMA-registered memory slab.
+
+    Args:
+        env: simulation environment (for watcher events and audit times).
+        node_id: owning node.
+        size_bytes: slab size; must be a multiple of the 64B cache line.
+        auditor: shared :class:`RaceAuditor`; ``None`` disables auditing.
+    """
+
+    def __init__(self, env: Environment, node_id: int, size_bytes: int,
+                 auditor: Optional[RaceAuditor] = None):
+        if size_bytes <= 0 or size_bytes % CACHE_LINE != 0:
+            raise MemoryError_(
+                f"region size {size_bytes} must be a positive multiple of {CACHE_LINE}")
+        self.env = env
+        self.node_id = node_id
+        self.size = size_bytes
+        self.auditor = auditor
+        self._words = np.zeros(size_bytes // WORD_SIZE, dtype=np.uint64)
+        # First cache line reserved so byte address 0 is never a live object
+        # and the packed pointer value 0 can serve as NULL.
+        self._alloc_cursor = CACHE_LINE
+        self._watchers: dict[int, list[Event]] = {}
+        # statistics
+        self.local_reads = 0
+        self.local_writes = 0
+        self.local_rmws = 0
+        self.remote_ops_landed = 0
+
+    # -- address helpers ---------------------------------------------------
+    def _word_index(self, addr: int) -> int:
+        if addr % WORD_SIZE != 0:
+            raise MemoryError_(f"misaligned 8-byte access at {addr:#x} on node {self.node_id}")
+        if not 0 <= addr <= self.size - WORD_SIZE:
+            raise MemoryError_(
+                f"address {addr:#x} out of bounds for {self.size}B region on node {self.node_id}")
+        return addr // WORD_SIZE
+
+    # -- allocation ----------------------------------------------------------
+    def alloc(self, nbytes: int, align: int = CACHE_LINE) -> int:
+        """Bump-allocate ``nbytes`` aligned to ``align``; returns the byte
+        address.  There is no free(): lock metadata lives for the whole
+        experiment, as in the paper's artifact."""
+        if nbytes <= 0:
+            raise MemoryError_(f"allocation size must be positive, got {nbytes}")
+        if align <= 0 or (align & (align - 1)) != 0:
+            raise MemoryError_(f"alignment must be a power of two, got {align}")
+        addr = (self._alloc_cursor + align - 1) & ~(align - 1)
+        if addr + nbytes > self.size:
+            raise MemoryError_(
+                f"node {self.node_id} region exhausted: need {nbytes}B at {addr:#x}, "
+                f"region is {self.size}B")
+        self._alloc_cursor = addr + nbytes
+        return addr
+
+    def alloc_ptr(self, nbytes: int, align: int = CACHE_LINE) -> int:
+        """Like :meth:`alloc` but returns a packed global pointer."""
+        return pack_ptr(self.node_id, self.alloc(nbytes, align))
+
+    @property
+    def bytes_allocated(self) -> int:
+        return self._alloc_cursor
+
+    # -- raw access (no auditing; internal + tests) -----------------------
+    def peek(self, addr: int) -> int:
+        return int(self._words[self._word_index(addr)])
+
+    def peek_signed(self, addr: int) -> int:
+        return to_signed(self.peek(addr))
+
+    def _store(self, addr: int, value: int) -> None:
+        idx = self._word_index(addr)
+        self._words[idx] = np.uint64(value & _MASK64)
+        watchers = self._watchers.pop(idx, None)
+        if watchers:
+            raw = int(self._words[idx])
+            for ev in watchers:
+                if not ev.triggered:
+                    ev.succeed((addr, raw))
+
+    # -- local API (shared-memory operations) ------------------------------
+    def read(self, addr: int, actor: str = "?") -> int:
+        """Local 8-byte atomic load (raw pattern)."""
+        self.local_reads += 1
+        if self.auditor is not None:
+            self.auditor.local_op(self.node_id, addr, LOCAL_READ, actor, self.env.now)
+        return self.peek(addr)
+
+    def read_signed(self, addr: int, actor: str = "?") -> int:
+        return to_signed(self.read(addr, actor))
+
+    def write(self, addr: int, value: int, actor: str = "?") -> None:
+        """Local 8-byte atomic store."""
+        self.local_writes += 1
+        if self.auditor is not None:
+            self.auditor.local_op(self.node_id, addr, LOCAL_WRITE, actor, self.env.now)
+        self._store(addr, from_signed(value))
+
+    def cas(self, addr: int, expected: int, desired: int, actor: str = "?") -> int:
+        """Local compare-and-swap; returns the *previous* raw value (the
+        CAS succeeded iff the return equals ``expected``)."""
+        self.local_rmws += 1
+        if self.auditor is not None:
+            self.auditor.local_op(self.node_id, addr, LOCAL_RMW, actor, self.env.now)
+        old = self.peek(addr)
+        if old == from_signed(expected):
+            self._store(addr, from_signed(desired))
+        return old
+
+    def faa(self, addr: int, delta: int, actor: str = "?") -> int:
+        """Local fetch-and-add (two's-complement); returns previous value."""
+        self.local_rmws += 1
+        if self.auditor is not None:
+            self.auditor.local_op(self.node_id, addr, LOCAL_RMW, actor, self.env.now)
+        old = self.peek(addr)
+        self._store(addr, from_signed(to_signed(old) + delta))
+        return old
+
+    # -- remote landing (called by the verbs layer at the target) ----------
+    def remote_read(self, addr: int) -> int:
+        self.remote_ops_landed += 1
+        return self.peek(addr)
+
+    def remote_write(self, addr: int, value: int) -> None:
+        self.remote_ops_landed += 1
+        self._store(addr, from_signed(value))
+
+    def remote_rmw_read(self, addr: int) -> int:
+        """Phase 1 of a remote RMW: the NIC's read of the target word."""
+        self.remote_ops_landed += 1
+        return self.peek(addr)
+
+    def remote_rmw_commit(self, addr: int, value: int) -> None:
+        """Phase 2 of a remote RMW: the NIC's write-back.  Unconditional —
+        if a local write landed inside the window, it is lost, exactly the
+        hazard Table 1 warns about."""
+        self._store(addr, from_signed(value))
+
+    # -- watchers ------------------------------------------------------
+    def watch(self, addr: int) -> Event:
+        """One-shot event fired by the next write to ``addr`` (local or
+        remote).  Value: ``(addr, raw_value)``."""
+        idx = self._word_index(addr)
+        ev = self.env.event()
+        self._watchers.setdefault(idx, []).append(ev)
+        return ev
+
+    def watch_any(self, addrs: Iterable[int]) -> Event:
+        """One-shot event fired by the next write to *any* of ``addrs``."""
+        ev = self.env.event()
+        for addr in addrs:
+            idx = self._word_index(addr)
+            self._watchers.setdefault(idx, []).append(ev)
+        return ev
+
+    def watcher_count(self) -> int:
+        """Live watcher registrations (test/debug aid)."""
+        return sum(len(v) for v in self._watchers.values())
+
+    def gc_watchers(self) -> None:
+        """Drop already-triggered events left by :meth:`watch_any`."""
+        for idx in list(self._watchers):
+            alive = [ev for ev in self._watchers[idx] if not ev.triggered]
+            if alive:
+                self._watchers[idx] = alive
+            else:
+                del self._watchers[idx]

@@ -1,0 +1,35 @@
+"""RNIC, fabric and one-sided verbs model.
+
+This package is the substitute for the paper's Mellanox ConnectX-3 +
+CloudLab testbed.  It models the mechanisms the paper's evaluation
+depends on:
+
+* **NIC pipelines** — per-NIC TX and RX service stations (FIFO
+  resources).  Ops queue under load; RX service time inflates with
+  backlog, reproducing the RX-buffer accumulation of §2 / Fig. 1.
+* **PCIe** — a per-node resource crossed by doorbells, DMA, and
+  completions.  Loopback ops cross it on both the send and receive side
+  of the *same* NIC, draining bandwidth exactly as the paper describes.
+* **QPC cache** — an LRU of queue-pair contexts per NIC; misses add a
+  reload penalty (QP thrashing, [31] in the paper).
+* **verbs** — ``rRead``/``rWrite``/``rCAS``/``rFAA`` one-sided ops.  A
+  remote RMW holds the target's RX station for its whole read→write
+  window, so remote atomics serialize against each other (InfiniBand
+  semantics) while remaining non-atomic with local ops (Table 1).
+"""
+
+from repro.rdma.config import CostModel, FabricConfig, NicConfig, RdmaConfig
+from repro.rdma.qp import QpcCache, qp_id
+from repro.rdma.nic import Rnic
+from repro.rdma.network import RdmaNetwork
+
+__all__ = [
+    "NicConfig",
+    "FabricConfig",
+    "CostModel",
+    "RdmaConfig",
+    "QpcCache",
+    "qp_id",
+    "Rnic",
+    "RdmaNetwork",
+]

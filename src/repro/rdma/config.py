@@ -1,0 +1,152 @@
+"""Cost-model configuration for the simulated RDMA cluster.
+
+Defaults are calibrated to the hardware the paper used (Intel Xeon
+E5-2450, Mellanox ConnectX-3) from published measurements:
+
+* local atomic ops on a Xeon of that era: ~50–150 ns (Kalia et al.,
+  "Design Guidelines for High Performance RDMA Systems", ATC'16 — the
+  paper's [16]);
+* one-sided RDMA verb round trip on CX-3: ~1.5–3 µs unloaded, so remote
+  ≈ 20× local — the *operation asymmetry* the ALock exploits;
+* RNIC message rates of a few Mops/s → per-op pipeline service of
+  ~100–150 ns;
+* QP context is 256 B and the on-chip cache is small; message rate
+  declines past ~450 live connections (StaR, ICNP'21 — the paper's [31]).
+
+Only *ratios* matter for reproducing the paper's shapes; the absolute
+values put latency plots in a realistic nanosecond range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class NicConfig:
+    """One RNIC's service parameters.
+
+    Attributes:
+        tx_service_ns: TX pipeline occupancy per work request.
+        rx_service_ns: RX pipeline occupancy per inbound op (before
+            congestion inflation).
+        atomic_window_ns: extra RX occupancy for a remote RMW — the
+            read→execute→write-back window at the target.  This is also
+            the Table-1 non-atomicity window.
+        pcie_crossing_ns: one PCIe transaction (doorbell, DMA, completion).
+        pcie_lanes: concurrent PCIe transactions (bus parallelism).
+        rx_congestion_threshold: RX backlog (queued ops) beyond which the
+            RX buffer starts accumulating and service inflates.
+        rx_congestion_factor: fractional service-time increase per queued
+            op beyond the threshold (models PCIe backpressure draining
+            the RX buffer slower than line rate).
+        rx_congestion_max_factor: cap on the inflation multiplier — the
+            drain rate degrades but never approaches zero, so a congested
+            NIC stays a stable (if slow) server instead of death-spiraling.
+        qpc_cache_entries: QP contexts held on-chip before thrashing.
+        qpc_miss_penalty_ns: context reload from host memory on miss.
+        loopback_turnaround_ns: internal TX→RX turnaround when a node
+            targets its own memory through the NIC (no fabric hop).
+    """
+
+    tx_service_ns: float = 110.0
+    rx_service_ns: float = 130.0
+    atomic_window_ns: float = 180.0
+    pcie_crossing_ns: float = 70.0
+    pcie_lanes: int = 2
+    rx_congestion_threshold: int = 4
+    rx_congestion_factor: float = 0.50
+    rx_congestion_max_factor: float = 4.0
+    qpc_cache_entries: int = 256
+    qpc_miss_penalty_ns: float = 450.0
+    loopback_turnaround_ns: float = 1100.0
+
+    def __post_init__(self) -> None:
+        for name in ("tx_service_ns", "rx_service_ns", "atomic_window_ns",
+                     "pcie_crossing_ns", "qpc_miss_penalty_ns",
+                     "loopback_turnaround_ns"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"NicConfig.{name} must be >= 0")
+        if self.pcie_lanes < 1:
+            raise ConfigError("NicConfig.pcie_lanes must be >= 1")
+        if self.qpc_cache_entries < 1:
+            raise ConfigError("NicConfig.qpc_cache_entries must be >= 1")
+        if self.rx_congestion_factor < 0 or self.rx_congestion_threshold < 0:
+            raise ConfigError("congestion parameters must be >= 0")
+        if self.rx_congestion_max_factor < 1.0:
+            raise ConfigError("rx_congestion_max_factor must be >= 1")
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Inter-node network parameters.
+
+    Attributes:
+        one_way_latency_ns: propagation + switching for one direction
+            (CX-3 era InfiniBand: ~0.7–1 µs including switch).
+        jitter_ns: deterministic-seeded uniform jitter added per hop;
+            0 disables.
+    """
+
+    one_way_latency_ns: float = 850.0
+    jitter_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.one_way_latency_ns < 0 or self.jitter_ns < 0:
+            raise ConfigError("fabric latencies must be >= 0")
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """CPU-side costs for local (shared-memory) operations.
+
+    The paper's central asymmetry: these are ~20× cheaper than verbs.
+    ``fence_ns`` is the atomic_thread_fence the ALock issues after
+    locking and before unlocking (§5.2).
+    """
+
+    local_read_ns: float = 55.0
+    local_write_ns: float = 60.0
+    local_cas_ns: float = 95.0
+    fence_ns: float = 25.0
+    #: cost of one spin-loop re-check after a wakeup (scheduler + load).
+    spin_recheck_ns: float = 40.0
+
+    def __post_init__(self) -> None:
+        for name in ("local_read_ns", "local_write_ns", "local_cas_ns",
+                     "fence_ns", "spin_recheck_ns"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"CostModel.{name} must be >= 0")
+
+
+@dataclass(frozen=True)
+class RdmaConfig:
+    """Bundle of all cost-model pieces, passed to the cluster builder."""
+
+    nic: NicConfig = field(default_factory=NicConfig)
+    fabric: FabricConfig = field(default_factory=FabricConfig)
+    cpu: CostModel = field(default_factory=CostModel)
+
+    def with_nic(self, **overrides) -> "RdmaConfig":
+        return replace(self, nic=replace(self.nic, **overrides))
+
+    def with_fabric(self, **overrides) -> "RdmaConfig":
+        return replace(self, fabric=replace(self.fabric, **overrides))
+
+    def with_cpu(self, **overrides) -> "RdmaConfig":
+        return replace(self, cpu=replace(self.cpu, **overrides))
+
+
+#: Expected unloaded one-sided round trip with a *warm* QP context (cold
+#: ops additionally pay the QPC miss penalty at each NIC), used by
+#: calibration tests: TX path (pcie + tx) + fabric + RX path (rx + pcie)
+#: + fabric back + completion pcie.
+def unloaded_remote_read_ns(cfg: RdmaConfig) -> float:
+    nic, fab = cfg.nic, cfg.fabric
+    return (nic.pcie_crossing_ns + nic.tx_service_ns
+            + fab.one_way_latency_ns
+            + nic.rx_service_ns + nic.pcie_crossing_ns
+            + fab.one_way_latency_ns
+            + nic.pcie_crossing_ns)

@@ -1,0 +1,182 @@
+"""One-sided verbs over the simulated fabric.
+
+:class:`RdmaNetwork` ties NICs, memory regions and the fabric together
+and exposes the verb set from the paper's system model: ``rRead``,
+``rWrite``, ``rCAS`` (plus ``rFAA``, which InfiniBand also offers and
+the lock-table application uses for counters).
+
+Every verb is a simulation-process fragment (``yield from network.r_cas(...)``)
+that returns the op's result to the caller after the full round trip.
+Issuing a verb against the caller's *own* node takes the **loopback**
+path: same NIC, both pipelines, no fabric — the mechanism the paper's
+competitors rely on for local accesses and the source of the Fig. 1
+saturation.
+
+A remote RMW's read and write-back are separated by the NIC's
+``atomic_window_ns`` while the target RX pipeline is held; the shared
+:class:`~repro.memory.races.RaceAuditor` is told about the window so
+Table-1 violations by concurrent local code are detected, and a local
+write landing inside the window is genuinely lost (overwritten by the
+RMW's write-back).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.common.errors import MemoryError_
+from repro.memory.races import RaceAuditor
+from repro.memory.region import MemoryRegion, from_signed, to_signed
+from repro.memory.pointer import ptr_addr, ptr_node
+from repro.rdma.config import RdmaConfig
+from repro.rdma.nic import Rnic
+from repro.rdma.qp import qp_id
+from repro.sim.core import Environment
+
+
+class RdmaNetwork:
+    """The cluster's RDMA plane: one NIC per node + the fabric."""
+
+    def __init__(self, env: Environment, config: RdmaConfig,
+                 regions: list[MemoryRegion],
+                 auditor: Optional[RaceAuditor] = None,
+                 jitter_rng: Optional[np.random.Generator] = None):
+        self.env = env
+        self.config = config
+        self.regions = regions
+        self.auditor = auditor
+        self.nics = [Rnic(env, i, config.nic) for i in range(len(regions))]
+        self._jitter_rng = jitter_rng
+        # statistics
+        self.verb_counts = {"rRead": 0, "rWrite": 0, "rCAS": 0, "rFAA": 0}
+        self.loopback_verbs = 0
+
+    # -- internals ---------------------------------------------------------
+    def _route(self, src_node: int, ptr: int) -> tuple[int, int, MemoryRegion, bool]:
+        dst = ptr_node(ptr)
+        addr = ptr_addr(ptr)
+        if not 0 <= dst < len(self.regions):
+            raise MemoryError_(f"pointer targets unknown node {dst}")
+        return dst, addr, self.regions[dst], dst == src_node
+
+    def _fabric_delay(self) -> float:
+        fab = self.config.fabric
+        d = fab.one_way_latency_ns
+        if fab.jitter_ns > 0 and self._jitter_rng is not None:
+            d += float(self._jitter_rng.uniform(0.0, fab.jitter_ns))
+        return d
+
+    def _transit(self, src_nic: Rnic, loopback: bool):
+        """Source-to-target transit after the send side."""
+        if loopback:
+            yield from src_nic.loopback_turnaround()
+        else:
+            yield self.env.timeout(self._fabric_delay())
+
+    def _return_path(self, src_nic: Rnic, loopback: bool):
+        """ACK/response back to the requester + completion DMA."""
+        if not loopback:
+            yield self.env.timeout(self._fabric_delay())
+        yield from src_nic.pcie_crossing()
+
+    # -- verbs -----------------------------------------------------------
+    def r_read(self, src_node: int, src_thread: int, ptr: int,
+               *, signed: bool = False):
+        """One-sided read of the 8-byte word at ``ptr``; returns its value."""
+        self.verb_counts["rRead"] += 1
+        dst, addr, region, loopback = self._route(src_node, ptr)
+        if loopback:
+            self.loopback_verbs += 1
+        qp = qp_id(src_node, src_thread, dst)
+        src_nic, dst_nic = self.nics[src_node], self.nics[dst]
+        yield from src_nic.send_side(qp)
+        yield from self._transit(src_nic, loopback)
+        value = yield from dst_nic.receive_side(
+            qp, execute=lambda: region.remote_read(addr))
+        yield from self._return_path(src_nic, loopback)
+        return to_signed(value) if signed else value
+
+    def r_write(self, src_node: int, src_thread: int, ptr: int, value: int):
+        """One-sided write of ``value`` to the word at ``ptr``."""
+        self.verb_counts["rWrite"] += 1
+        dst, addr, region, loopback = self._route(src_node, ptr)
+        if loopback:
+            self.loopback_verbs += 1
+        qp = qp_id(src_node, src_thread, dst)
+        src_nic, dst_nic = self.nics[src_node], self.nics[dst]
+        yield from src_nic.send_side(qp)
+        yield from self._transit(src_nic, loopback)
+        yield from dst_nic.receive_side(
+            qp, execute=lambda: region.remote_write(addr, value))
+        yield from self._return_path(src_nic, loopback)
+
+    def _rmw(self, verb: str, src_node: int, src_thread: int, ptr: int,
+             apply_fn, actor: str):
+        """Common path for rCAS/rFAA: two-phase execute at the target with
+        the Table-1 window registered on the auditor."""
+        self.verb_counts[verb] += 1
+        dst, addr, region, loopback = self._route(src_node, ptr)
+        if loopback:
+            self.loopback_verbs += 1
+        qp = qp_id(src_node, src_thread, dst)
+        src_nic, dst_nic = self.nics[src_node], self.nics[dst]
+        env = self.env
+        auditor = self.auditor
+        state: dict = {}
+
+        def execute(phase: str):
+            if phase == "read":
+                old = region.remote_rmw_read(addr)
+                state["old"] = old
+                state["new"] = apply_fn(old)
+                if auditor is not None:
+                    state["win"] = auditor.remote_rmw_begin(
+                        dst, addr, "rCAS", actor, env.now,
+                        env.now + dst_nic.config.atomic_window_ns)
+                return old
+            # commit phase
+            if state["new"] is not None:
+                region.remote_rmw_commit(addr, state["new"])
+            if auditor is not None:
+                auditor.remote_rmw_end(dst, state["win"])
+            return state["old"]
+
+        yield from src_nic.send_side(qp)
+        yield from self._transit(src_nic, loopback)
+        old = yield from dst_nic.receive_side(qp, atomic=True, execute=execute)
+        yield from self._return_path(src_nic, loopback)
+        return old
+
+    def r_cas(self, src_node: int, src_thread: int, ptr: int,
+              expected: int, desired: int, *, signed: bool = False,
+              actor: str = "?"):
+        """One-sided compare-and-swap; returns the previous value (the
+        swap happened iff the return equals ``expected``)."""
+        exp_raw = from_signed(expected)
+
+        def apply_fn(old: int):
+            return from_signed(desired) if old == exp_raw else None
+
+        old = yield from self._rmw("rCAS", src_node, src_thread, ptr,
+                                   apply_fn, actor)
+        return to_signed(old) if signed else old
+
+    def r_faa(self, src_node: int, src_thread: int, ptr: int, delta: int,
+              *, signed: bool = False, actor: str = "?"):
+        """One-sided fetch-and-add; returns the previous value."""
+        def apply_fn(old: int):
+            return from_signed(to_signed(old) + delta)
+
+        old = yield from self._rmw("rFAA", src_node, src_thread, ptr,
+                                   apply_fn, actor)
+        return to_signed(old) if signed else old
+
+    # -- reporting -----------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "verbs": dict(self.verb_counts),
+            "loopback_verbs": self.loopback_verbs,
+            "nics": [nic.stats() for nic in self.nics],
+        }

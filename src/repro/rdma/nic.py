@@ -1,0 +1,128 @@
+"""The RNIC model: TX/RX pipelines, PCIe, QPC cache, congestion.
+
+An op's path through a NIC is a sequence of resource holds:
+
+* **send side** — one PCIe crossing (WQE fetch via doorbell + DMA) then
+  the TX pipeline for ``tx_service_ns``.
+* **receive side** — the RX pipeline, whose effective service time
+  inflates with the backlog queued at arrival (RX-buffer accumulation
+  under PCIe backpressure, the Fig. 1 mechanism), then one PCIe crossing
+  to execute the DMA against host memory.  Remote atomics additionally
+  hold the RX pipeline for the ``atomic_window_ns`` read→write-back
+  window, which serializes them against each other at the target.
+* **completion** — one PCIe crossing on the requester side when the ACK
+  arrives.
+
+A loopback op (§2) runs the send side and receive side on the *same*
+NIC, skipping the fabric but paying an internal turnaround — so loopback
+traffic occupies both pipelines and three PCIe crossings per op, which
+is why it saturates a node long before real network traffic would.
+"""
+
+from __future__ import annotations
+
+from repro.rdma.config import NicConfig
+from repro.rdma.qp import QpcCache
+from repro.sim.core import Environment
+from repro.sim.resources import Resource
+
+
+class Rnic:
+    """One node's RDMA NIC."""
+
+    def __init__(self, env: Environment, node_id: int, config: NicConfig):
+        self.env = env
+        self.node_id = node_id
+        self.config = config
+        self.tx = Resource(env, 1, name=f"nic{node_id}.tx")
+        self.rx = Resource(env, 1, name=f"nic{node_id}.rx")
+        self.pcie = Resource(env, config.pcie_lanes, name=f"nic{node_id}.pcie")
+        self.qpc = QpcCache(config.qpc_cache_entries)
+        # statistics
+        self.tx_ops = 0
+        self.rx_ops = 0
+        self.loopback_ops = 0
+        self.qpc_penalty_ns_total = 0.0
+
+    # -- building blocks -------------------------------------------------
+    def _qpc_penalty(self, qp: tuple) -> float:
+        """Touch the QPC cache; return the reload penalty (0 on hit)."""
+        if self.qpc.access(qp):
+            return 0.0
+        self.qpc_penalty_ns_total += self.config.qpc_miss_penalty_ns
+        return self.config.qpc_miss_penalty_ns
+
+    def pcie_crossing(self):
+        """Process fragment: one PCIe transaction."""
+        yield from self.pcie.serve(self.config.pcie_crossing_ns)
+
+    def send_side(self, qp: tuple):
+        """Process fragment: requester-side work for one outbound op."""
+        self.tx_ops += 1
+        yield from self.pcie_crossing()
+        service = self.config.tx_service_ns + self._qpc_penalty(qp)
+        yield from self.tx.serve(service)
+
+    def _rx_service_time(self) -> float:
+        """RX service with congestion inflation, based on the backlog
+        present when this op reaches the head of the queue."""
+        cfg = self.config
+        backlog = self.rx.queue_length
+        over = backlog - cfg.rx_congestion_threshold
+        if over <= 0:
+            return cfg.rx_service_ns
+        factor = min(1.0 + cfg.rx_congestion_factor * over,
+                     cfg.rx_congestion_max_factor)
+        return cfg.rx_service_ns * factor
+
+    def receive_side(self, qp: tuple, *, atomic: bool = False,
+                     execute=None):
+        """Process fragment: target-side work for one inbound op.
+
+        Args:
+            qp: queue-pair identity (touches this NIC's QPC cache too —
+                the responder also holds connection state).
+            atomic: hold the RX pipeline for the full RMW window so
+                remote atomics serialize at the target.
+            execute: optional callable run at the op's *linearization
+                point*: for plain ops, after RX service; for atomics it
+                receives a ``commit`` phase via the returned generator
+                protocol (see :mod:`repro.rdma.network`).
+        """
+        self.rx_ops += 1
+        penalty = self._qpc_penalty(qp)
+        yield self.rx.request()
+        try:
+            yield self.env.timeout(self._rx_service_time() + penalty)
+            if atomic:
+                # read phase happens now; write-back lands after the window
+                result = execute("read") if execute is not None else None
+                yield self.env.timeout(self.config.atomic_window_ns)
+                if execute is not None:
+                    execute("commit")
+            else:
+                result = execute() if execute is not None else None
+        finally:
+            self.rx.release()
+        yield from self.pcie_crossing()
+        return result
+
+    def loopback_turnaround(self):
+        """Process fragment: internal TX→RX handoff on the same NIC."""
+        self.loopback_ops += 1
+        yield self.env.timeout(self.config.loopback_turnaround_ns)
+
+    # -- reporting -----------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "node": self.node_id,
+            "tx_ops": self.tx_ops,
+            "rx_ops": self.rx_ops,
+            "loopback_ops": self.loopback_ops,
+            "tx_utilization": self.tx.utilization(),
+            "rx_utilization": self.rx.utilization(),
+            "pcie_utilization": self.pcie.utilization(),
+            "rx_peak_queue": self.rx.peak_queue,
+            "qpc_miss_rate": self.qpc.miss_rate,
+            "qpc_penalty_ns_total": self.qpc_penalty_ns_total,
+        }

@@ -1,0 +1,44 @@
+"""Deterministic discrete-event simulation engine.
+
+A purpose-built, simpy-flavoured kernel: processes are Python generators
+that ``yield`` events; the environment advances a virtual clock in
+nanoseconds.  Determinism is guaranteed by a total order on scheduled
+events ``(time, seq)`` where ``seq`` is a monotonically increasing
+insertion counter — two runs with the same seed produce identical
+trajectories.
+
+Public surface:
+
+* :class:`Environment` — the event loop / clock.
+* :class:`Event`, :class:`Timeout`, :class:`Process` — awaitables.
+* :class:`AnyOf`, :class:`AllOf` — event combinators.
+* :class:`Resource` — FIFO server pool with utilization accounting
+  (models NIC pipelines and PCIe lanes).
+* :class:`Store` — FIFO message channel.
+* :class:`Interrupt` — cooperative cancellation.
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    PENDING,
+    Process,
+    Timeout,
+)
+from repro.sim.resources import Resource, Store
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Interrupt",
+    "PENDING",
+    "Resource",
+    "Store",
+]

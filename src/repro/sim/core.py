@@ -1,0 +1,412 @@
+"""Core of the discrete-event engine: clock, events, processes.
+
+Time is a float in **nanoseconds** throughout the library; the RDMA cost
+model (microseconds-scale verbs, ~100 ns local ops) fits naturally and
+the paper's latency plots are in nanoseconds.
+
+The engine is deliberately small and allocation-light: the simulator is
+the hot loop of every benchmark, so event dispatch avoids closures where
+a method reference suffices, and the heap stores 3-tuples rather than
+objects with rich comparison.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.common.errors import SimulationError
+
+
+class _Pending:
+    """Sentinel for an event value that has not been produced yet."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<PENDING>"
+
+
+PENDING = _Pending()
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` is whatever the interrupter passed — by convention a
+    short string or the interrupting object.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Lifecycle: *pending* → *triggered* (succeed/fail) → *processed*
+    (callbacks ran).  Waiting on an already-processed event resumes the
+    waiter immediately (scheduled at the current time, preserving the
+    global event order).
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._scheduled = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (succeeded or failed)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        self._value = value
+        self._ok = True
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception; waiters will have it
+        raised at their ``yield``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        self._value = exception
+        self._ok = False
+        self.env._schedule(self)
+        return self
+
+    def _add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: deliver asynchronously at current time to
+            # keep the "resume happens via the loop" invariant.
+            self.env._schedule(_Echo(self.env, self, fn))
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class _Echo(Event):
+    """Internal: re-delivers an already-processed event to a late waiter."""
+
+    __slots__ = ("_target", "_fn")
+
+    def __init__(self, env: "Environment", target: Event, fn: Callable[[Event], None]):
+        super().__init__(env)
+        self._target = target
+        self._fn = fn
+        self._value = None  # pre-triggered
+
+    def _process(self) -> None:
+        self.callbacks = None
+        self._fn(self._target)
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` nanoseconds after creation.
+
+    The value is held aside until the scheduler pops the timeout, so
+    :attr:`triggered` stays False until the delay actually elapses.
+    """
+
+    __slots__ = ("delay", "_pending_value")
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._pending_value = value
+        self.env._schedule(self, delay=delay)
+
+
+class Process(Event):
+    """Wraps a generator; the process *is* an event that triggers when the
+    generator returns (value = its ``return`` value) or raises."""
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"process target must be a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off at the current time.
+        boot = Event(env)
+        boot._value = None
+        boot._ok = True
+        env._schedule(boot)
+        boot.callbacks.append(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        No-op if the process already finished.
+        """
+        if not self.is_alive:
+            return
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        kick = Event(self.env)
+        kick._value = Interrupt(cause)
+        kick._ok = False
+        self.env._schedule(kick)
+        kick.callbacks.append(self._resume)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        gen = self._generator
+        self.env._active_process = self
+        try:
+            while True:
+                if event._ok:
+                    target = gen.send(event._value)
+                else:
+                    exc = event._value
+                    target = gen.throw(exc)
+                if not isinstance(target, Event):
+                    raise SimulationError(
+                        f"process {self.name!r} yielded non-event {target!r}")
+                if target._value is PENDING:
+                    self._waiting_on = target
+                    target.callbacks.append(self._resume)
+                    return
+                if target.callbacks is not None:
+                    # Triggered but not yet processed — wait for the loop to
+                    # process it so ordering matches schedule order.
+                    self._waiting_on = target
+                    target.callbacks.append(self._resume)
+                    return
+                # Already processed: consume its value synchronously.
+                event = target
+        except StopIteration as stop:
+            self._value = stop.value
+            self._ok = True
+            self.env._schedule(self)
+        except Interrupt as intr:
+            # An un-handled interrupt terminates the process with a failure.
+            self._value = intr
+            self._ok = False
+            self.env._schedule(self)
+        except BaseException as exc:
+            self._value = exc
+            self._ok = False
+            self.env._schedule(self)
+            if not isinstance(exc, Exception):  # pragma: no cover - KeyboardInterrupt etc.
+                raise
+        finally:
+            self.env._active_process = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf combinators."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._n_done = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("all events in a condition must share an environment")
+            ev._add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self.events if ev.triggered and ev._ok}
+
+
+class AnyOf(_Condition):
+    """Triggers when the first constituent event triggers.
+
+    Value: dict of the triggered events and their values at that moment.
+    A failed constituent fails the condition.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Triggers when every constituent event has triggered."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._n_done += 1
+        if self._n_done == len(self.events):
+            self.succeed(self._collect())
+
+
+class Environment:
+    """The event loop and virtual clock.
+
+    ``run(until=...)`` processes events in ``(time, seq)`` order.  ``seq``
+    is a global insertion counter, so simultaneous events run in the order
+    they were scheduled — fully deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self._event_count = 0
+
+    # -- clock ------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def event_count(self) -> int:
+        """Total events processed so far (for engine benchmarks)."""
+        return self._event_count
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factories ----------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling ----------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            raise SimulationError(f"{event!r} scheduled twice")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, self._seq, event))
+
+    # -- execution ----------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        time, _seq, event = heapq.heappop(self._heap)
+        self._now = time
+        self._event_count += 1
+        if isinstance(event, _Echo):
+            event._process()
+            return
+        if isinstance(event, Timeout):
+            event._value = event._pending_value
+            event._ok = True
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for fn in callbacks:
+                fn(event)
+
+    def peek(self) -> float:
+        """Time of the next event, or +inf if none is scheduled."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run until the schedule drains, a deadline passes, or an event fires.
+
+        Args:
+            until: ``None`` → run to exhaustion; a number → run while the
+                next event is at or before that time, then set ``now`` to
+                it; an :class:`Event` → run until it is processed and
+                return its value (raising if it failed).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        "schedule drained before the awaited event triggered (deadlock?)")
+                self.step()
+            if stop._ok:
+                return stop._value
+            raise stop._value
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError(f"run(until={deadline}) is in the past (now={self._now})")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None

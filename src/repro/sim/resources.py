@@ -1,0 +1,173 @@
+"""Queued resources for the simulator.
+
+:class:`Resource` models a server pool with FIFO admission — we use it
+for NIC TX/RX pipelines and the PCIe bus, where the *queueing delay under
+load* is exactly the congestion phenomenon the paper discusses (§2).
+It tracks busy time and queue-length statistics so experiments can report
+utilization.
+
+:class:`Store` is an unbounded FIFO channel used by RPC-style helpers and
+tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.common.errors import SimulationError
+from repro.sim.core import Environment, Event
+
+
+class Resource:
+    """A FIFO resource with ``capacity`` concurrent slots.
+
+    Usage from a process::
+
+        req = resource.request()
+        yield req
+        ...   # hold the slot
+        resource.release()
+
+    Statistics: :attr:`busy_time` integrates (slots in use) over time;
+    :meth:`utilization` divides by elapsed × capacity.  :attr:`peak_queue`
+    records the worst backlog, which the NIC model uses as its RX-buffer
+    occupancy signal.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._queue: deque[Event] = deque()
+        # statistics
+        self._busy_integral = 0.0
+        self._last_change = env.now
+        self._started_at = env.now
+        self.peak_queue = 0
+        self.total_served = 0
+
+    # -- stats ---------------------------------------------------------
+    def _account(self) -> None:
+        now = self.env.now
+        self._busy_integral += self._in_use * (now - self._last_change)
+        self._last_change = now
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def utilization(self) -> float:
+        """Mean fraction of capacity busy since construction."""
+        self._account()
+        elapsed = self.env.now - self._started_at
+        if elapsed <= 0:
+            return 0.0
+        return self._busy_integral / (elapsed * self.capacity)
+
+    # -- protocol -------------------------------------------------------
+    def request(self) -> Event:
+        """Return an event that triggers once a slot is granted."""
+        ev = self.env.event()
+        if self._in_use < self.capacity:
+            self._account()
+            self._in_use += 1
+            self.total_served += 1
+            ev.succeed(self)
+        else:
+            self._queue.append(ev)
+            if len(self._queue) > self.peak_queue:
+                self.peak_queue = len(self._queue)
+        return ev
+
+    def release(self) -> None:
+        """Free one slot, admitting the next waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release() on idle resource {self.name!r}")
+        if self._queue:
+            # Hand the slot straight to the next waiter; occupancy unchanged.
+            self.total_served += 1
+            self._queue.popleft().succeed(self)
+        else:
+            self._account()
+            self._in_use -= 1
+
+    def serve(self, service_time: float):
+        """Convenience process fragment: acquire, hold for ``service_time``,
+        release.  ``yield from resource.serve(t)`` inside a process."""
+        yield self.request()
+        try:
+            yield self.env.timeout(service_time)
+        finally:
+            self.release()
+
+
+class Store:
+    """Unbounded FIFO channel of Python objects.
+
+    ``put`` never blocks; ``get`` returns an event that triggers with the
+    next item (immediately if one is buffered).
+    """
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        ev = self.env.event()
+        if self._items:
+            ev.succeed(self._items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def waiting_getters(self) -> int:
+        return len(self._getters)
+
+
+class WaitQueue:
+    """A broadcast/wakeup primitive: processes park on :meth:`wait` and a
+    producer wakes one or all.  Used by the memory watcher layer."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._waiters: deque[Event] = deque()
+
+    def wait(self) -> Event:
+        ev = self.env.event()
+        self._waiters.append(ev)
+        return ev
+
+    def wake_one(self, value: Any = None) -> bool:
+        if self._waiters:
+            self._waiters.popleft().succeed(value)
+            return True
+        return False
+
+    def wake_all(self, value: Any = None) -> int:
+        n = len(self._waiters)
+        while self._waiters:
+            self._waiters.popleft().succeed(value)
+        return n
+
+    def __len__(self) -> int:
+        return len(self._waiters)

@@ -1,0 +1,184 @@
+"""Breadth-first explicit-state exploration and property checks."""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.common.errors import ConfigError
+from repro.verification.spec import ALockSpec, State
+
+
+@dataclass
+class Counterexample:
+    """A finite trace from an initial state to a violating state."""
+
+    states: list[State]
+    actions: list[int]  # pid that moved between consecutive states
+    violation: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lines = [f"violation: {self.violation}",
+                 f"trace length: {len(self.states)}"]
+        for i, s in enumerate(self.states):
+            mover = f" (pid {self.actions[i - 1]} moved)" if i else ""
+            lines.append(f"  step {i}{mover}: pc={s.pc} cohort={s.cohort} "
+                         f"victim={s.victim} budget={s.budget}")
+        return "\n".join(lines)
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one exploration/property check."""
+
+    property_name: str
+    holds: bool
+    states_explored: int
+    counterexample: Optional[Counterexample] = None
+    detail: str = ""
+
+
+@dataclass
+class _Exploration:
+    spec: ALockSpec
+    visited: set = field(default_factory=set)
+    parents: dict = field(default_factory=dict)  # state -> (prev, pid)
+    frontier: deque = field(default_factory=deque)
+
+
+def _trace(exp: _Exploration, state: State, violation: str) -> Counterexample:
+    states = [state]
+    actions: list[int] = []
+    cur = state
+    while exp.parents[cur] is not None:
+        prev, pid = exp.parents[cur]
+        states.append(prev)
+        actions.append(pid)
+        cur = prev
+    states.reverse()
+    actions.reverse()
+    return Counterexample(states, actions, violation)
+
+
+def explore(spec: ALockSpec, *,
+            invariant: Optional[Callable[[State], Optional[str]]] = None,
+            max_states: int = 2_000_000,
+            require_progress: bool = False) -> CheckResult:
+    """BFS over the reachable state space.
+
+    Args:
+        invariant: callable returning None when a state is fine, or a
+            violation message.  Exploration stops at the first violation
+            with a counterexample trace.
+        max_states: exploration safety valve; exceeding it raises (a
+            bigger configuration needs a bigger bound, not silent
+            truncation).
+        require_progress: also flag states with no enabled step
+            (deadlocks) as violations.
+    """
+    exp = _Exploration(spec)
+    for init in spec.initial_states():
+        exp.visited.add(init)
+        exp.parents[init] = None
+        exp.frontier.append(init)
+
+    name = invariant.__name__ if invariant else "reachability"
+    while exp.frontier:
+        state = exp.frontier.popleft()
+        if invariant is not None:
+            message = invariant(state)
+            if message is not None:
+                return CheckResult(name, False, len(exp.visited),
+                                   _trace(exp, state, message))
+        moved = False
+        for pid, nxt in spec.successors(state):
+            moved = True
+            if nxt not in exp.visited:
+                if len(exp.visited) >= max_states:
+                    raise ConfigError(
+                        f"state space exceeds max_states={max_states}; "
+                        f"raise the bound for this configuration")
+                exp.visited.add(nxt)
+                exp.parents[nxt] = (state, pid)
+                exp.frontier.append(nxt)
+        if require_progress and not moved:
+            return CheckResult(name, False, len(exp.visited),
+                               _trace(exp, state, "deadlock: no enabled step"))
+    return CheckResult(name, True, len(exp.visited))
+
+
+def check_mutual_exclusion(spec: ALockSpec, *, max_states: int = 2_000_000) -> CheckResult:
+    """The appendix's MutualExclusion invariant: at most one process at
+    ``cs`` in every reachable state."""
+
+    def mutual_exclusion(state: State) -> Optional[str]:
+        in_cs = spec.processes_in_cs(state)
+        if len(in_cs) > 1:
+            return f"processes {in_cs} simultaneously in the critical section"
+        return None
+
+    result = explore(spec, invariant=mutual_exclusion, max_states=max_states)
+    result.property_name = "MutualExclusion"
+    return result
+
+
+def check_deadlock_freedom(spec: ALockSpec, *, max_states: int = 2_000_000) -> CheckResult:
+    """No reachable state is stuck (some process can always move)."""
+    result = explore(spec, require_progress=True, max_states=max_states)
+    result.property_name = "DeadlockFreedom"
+    return result
+
+
+def check_progress_possibility(spec: ALockSpec, *, max_states: int = 500_000) -> CheckResult:
+    """From every reachable state, every process that has begun acquiring
+    (``pc ∉ {p1, ncs}``) can still reach ``cs`` on *some* continuation.
+
+    This is the reachability core of the appendix's ``StarvationFree``
+    (⇝ requires it) — full starvation freedom additionally needs weak
+    fairness over the scheduler, which this possibility check
+    approximates; see the package docstring.
+    """
+    # Full reachable set first.
+    base = explore(spec, max_states=max_states)
+    all_states: set[State] = set()
+    frontier = deque(spec.initial_states())
+    all_states.update(frontier)
+    while frontier:
+        s = frontier.popleft()
+        for _pid, nxt in spec.successors(s):
+            if nxt not in all_states:
+                all_states.add(nxt)
+                frontier.append(nxt)
+
+    # Backward check per pid: states from which pid's cs is reachable.
+    # Compute forward instead: for each state and pid, BFS until pid hits
+    # cs — cached by (state, pid) via a reverse fixpoint:
+    # iterate: GOOD_pid = {s : pid at cs in s} ∪ {s : ∃ step → GOOD_pid}.
+    succs: dict[State, list[State]] = {
+        s: [nxt for _p, nxt in spec.successors(s)] for s in all_states}
+    preds: dict[State, list[State]] = {s: [] for s in all_states}
+    for s, ns in succs.items():
+        for n in ns:
+            preds[n].append(s)
+
+    for pid in spec.pids:
+        good = {s for s in all_states if spec.in_critical_section(s, pid)}
+        queue = deque(good)
+        while queue:
+            g = queue.popleft()
+            for p in preds[g]:
+                if p not in good:
+                    good.add(p)
+                    queue.append(p)
+        idle = {"p1", "ncs"}
+        for s in all_states:
+            if s.pc[pid - 1] not in idle and s not in good:
+                return CheckResult(
+                    "ProgressPossibility", False, len(all_states),
+                    Counterexample([s], [], f"pid {pid} at {s.pc[pid-1]} "
+                                            f"can never reach cs"),
+                    detail=f"pid {pid} permanently excluded")
+    return CheckResult("ProgressPossibility", True, len(all_states),
+                       detail=f"checked {len(all_states)} states x "
+                              f"{spec.n_processes} processes")

@@ -1,0 +1,156 @@
+"""Liveness under weak fairness: the appendix's ``StarvationFree``.
+
+``StarvationFree ≜ ∀ p: (pc[p] = "enter") ⇝ (pc[p] = "cs")`` must hold
+on *weakly fair* schedules: a process that stays enabled must eventually
+step (TLC's ``fair process``).
+
+Detection is the classic SCC argument.  A starvation witness is an
+infinite fair run in which some process ``p`` is forever mid-acquisition
+and never at ``cs``.  Any infinite run eventually stays inside one
+strongly connected component of the state graph, and conversely any SCC
+can be traversed by a cycle visiting all of its states and edges.  So
+``p`` can starve iff there is a reachable SCC ``S`` such that:
+
+1. ``S`` contains a cycle (non-trivial, or a self-loop);
+2. in every state of ``S``, ``p`` is mid-protocol (not at ``p1``/``ncs``)
+   and never at ``cs``;
+3. the cycle can be *fair*: every process ``q`` either takes a step on
+   some edge inside ``S`` or is disabled (blocked on an ``await``) in
+   some state of ``S``.
+
+Condition 3 is exact for weak fairness at SCC granularity: if each ``q``
+is served somewhere in ``S``, a single cycle through all those witnesses
+serves them all infinitely often.
+
+For the correct ALock spec this check passes (NP ≤ 3 explored
+exhaustively); for the ``no_victim_check`` bug it returns the livelock
+SCC where both cohort leaders spin forever — precisely the execution
+the victim word exists to rule out.
+"""
+
+from __future__ import annotations
+
+from repro.verification.checker import CheckResult, Counterexample
+from repro.verification.spec import ALockSpec, State
+
+#: pc labels where a process is not (yet) requesting the lock.
+_IDLE = frozenset({"p1", "ncs"})
+
+
+def _reachable_graph(spec: ALockSpec, max_states: int):
+    """All reachable states with labeled successor lists."""
+    from collections import deque
+
+    from repro.common.errors import ConfigError
+
+    succs: dict[State, list[tuple[int, State]]] = {}
+    frontier = deque(spec.initial_states())
+    seen = set(frontier)
+    while frontier:
+        s = frontier.popleft()
+        out = list(spec.successors(s))
+        succs[s] = out
+        for _pid, nxt in out:
+            if nxt not in seen:
+                if len(seen) >= max_states:
+                    raise ConfigError(
+                        f"state space exceeds max_states={max_states}")
+                seen.add(nxt)
+                frontier.append(nxt)
+    return succs
+
+
+def _sccs(succs: dict) -> list[list[State]]:
+    """Tarjan's algorithm, iterative (state graphs exceed the recursion
+    limit by orders of magnitude)."""
+    index: dict[State, int] = {}
+    lowlink: dict[State, int] = {}
+    on_stack: set[State] = set()
+    stack: list[State] = []
+    result: list[list[State]] = []
+    counter = [0]
+
+    for root in succs:
+        if root in index:
+            continue
+        work = [(root, iter(succs[root]))]
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for _pid, child in it:
+                if child not in index:
+                    index[child] = lowlink[child] = counter[0]
+                    counter[0] += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(succs[child])))
+                    advanced = True
+                    break
+                if child in on_stack:
+                    lowlink[node] = min(lowlink[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member is node:
+                        break
+                result.append(component)
+    return result
+
+
+def check_starvation_freedom(spec: ALockSpec, *,
+                             max_states: int = 500_000) -> CheckResult:
+    """Exhaustive ``StarvationFree`` check under weak process fairness."""
+    succs = _reachable_graph(spec, max_states)
+    n_states = len(succs)
+
+    for component in _sccs(succs):
+        members = set(component)
+        # does the SCC contain a cycle?
+        internal_edges = [(s, pid, nxt) for s in component
+                          for pid, nxt in succs[s] if nxt in members]
+        has_cycle = len(component) > 1 or any(
+            nxt == s for s, _pid, nxt in internal_edges)
+        if not has_cycle:
+            continue
+        steppers = {pid for _s, pid, _n in internal_edges}
+        for p in spec.pids:
+            i = p - 1
+            stuck = all(s.pc[i] not in _IDLE and s.pc[i] != "cs"
+                        for s in component)
+            if not stuck:
+                continue
+            # fairness feasibility: every process steps in S or is
+            # disabled somewhere in S
+            fair = True
+            for q in spec.pids:
+                if q in steppers:
+                    continue
+                if not any(spec.step(s, q) is None for s in component):
+                    fair = False
+                    break
+            if fair:
+                witness = component[0]
+                return CheckResult(
+                    "StarvationFree", False, n_states,
+                    Counterexample(
+                        [witness], [],
+                        f"pid {p} starves: fair cycle through "
+                        f"{len(component)} state(s) keeps it at "
+                        f"{witness.pc[i]!r} forever"),
+                    detail=f"SCC size {len(component)}, "
+                           f"stepping pids {sorted(steppers)}")
+    return CheckResult("StarvationFree", True, n_states,
+                       detail=f"no fair starvation cycle in {n_states} states")

@@ -1,0 +1,256 @@
+"""Label-by-label translation of the appendix PlusCal algorithm.
+
+Processes are ``1..NP``.  As in the TLA+ spec, a process's cohort is
+determined by parity — ``Us(pid) = (pid % 2) + 1`` — abstracting the
+local/remote split; ``cohort`` is the two-slot array of cohort-lock
+tails (0 = unlocked, else the pid whose descriptor is the tail), which
+doubles as the Peterson flags; ``victim`` holds a pid (the process that
+most recently yielded the global lock).
+
+One label = one atomic step, matching TLC's granularity:
+
+* ``p1 → ncs → enter`` (call AcquireCohort) ``→ p2`` (maybe call
+  AcquireGlobal) ``→ cs → exit`` (call ReleaseCohort) ``→ p1`` …
+* AcquireCohort: ``c1`` init descriptor; ``swap`` (atomic read+swap of
+  the cohort tail); ``cwait`` branch on pred; ``c2`` link; ``c3`` await
+  budget ≥ 0; ``c4`` branch on budget 0; ``c5`` call AcquireGlobal;
+  ``c6`` reset budget; ``c7``/``c9`` set passed; ``c8`` leader budget;
+  ``c10`` return.
+* AcquireGlobal: ``g1`` victim := self; ``gwait``/``g2``/``g3`` the
+  Peterson wait loop; ``g4`` return.
+* ReleaseCohort: ``cas`` try to clear the tail; ``r1`` await successor
+  link; ``r2`` pass budget − 1; ``r3`` return.
+
+Supported injected bugs (for checker-has-teeth tests):
+
+* ``"skip_handoff_wait"`` — ``c3`` does not wait for the budget to be
+  passed (a waiter enters the CS while its predecessor still holds it):
+  must break MutualExclusion.
+* ``"no_victim_check"`` — ``g3`` never lets the victim yield: must
+  deadlock two competing cohort leaders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, NamedTuple
+
+from repro.common.errors import ConfigError
+
+
+class State(NamedTuple):
+    """One global state; fully immutable/hashable for BFS."""
+
+    victim: int
+    cohort: tuple            # cohort[1..2] tails, stored as (c1, c2)
+    budget: tuple            # per-pid descriptor budget
+    next_: tuple             # per-pid descriptor next pointer (0 = null)
+    passed: tuple            # per-pid bool
+    pc: tuple                # per-pid program counter label
+    pred: tuple              # per-pid local var of AcquireCohort
+    retstack: tuple          # per-pid tuple of return labels
+
+
+def us(pid: int) -> int:
+    """The cohort (1 or 2) process ``pid`` belongs to."""
+    return (pid % 2) + 1
+
+
+def them(pid: int) -> int:
+    return ((pid + 1) % 2) + 1
+
+
+@dataclass(frozen=True)
+class ALockSpec:
+    """The transition system for ``n_processes`` and ``initial_budget``.
+
+    Args:
+        n_processes: NP (>= 1).  Peterson competition needs both parities,
+            i.e. NP >= 2, for cross-cohort behaviour to appear.
+        initial_budget: B (>= 1).
+        bug: optional injected defect (see module docstring).
+    """
+
+    n_processes: int
+    initial_budget: int
+    bug: str | None = None
+
+    _BUGS = (None, "skip_handoff_wait", "no_victim_check")
+
+    def __post_init__(self) -> None:
+        if self.n_processes < 1:
+            raise ConfigError("n_processes must be >= 1")
+        if self.initial_budget < 1:
+            raise ConfigError("initial_budget must be >= 1")
+        if self.bug not in self._BUGS:
+            raise ConfigError(f"unknown bug {self.bug!r}; known: {self._BUGS}")
+
+    @property
+    def pids(self) -> range:
+        return range(1, self.n_processes + 1)
+
+    # -- states ---------------------------------------------------------
+    def initial_states(self) -> list[State]:
+        """TLA init: ``victim ∈ {1, 2}`` gives two initial states."""
+        n = self.n_processes
+        return [
+            State(
+                victim=v,
+                cohort=(0, 0),
+                budget=tuple(-1 for _ in range(n)),
+                next_=tuple(0 for _ in range(n)),
+                passed=tuple(False for _ in range(n)),
+                pc=tuple("p1" for _ in range(n)),
+                pred=tuple(0 for _ in range(n)),
+                retstack=tuple(() for _ in range(n)),
+            )
+            for v in (1, 2)
+        ]
+
+    # -- helpers over immutable state ----------------------------------
+    @staticmethod
+    def _set(tup: tuple, pid: int, value) -> tuple:
+        i = pid - 1
+        return tup[:i] + (value,) + tup[i + 1:]
+
+    def _goto(self, s: State, pid: int, label: str) -> State:
+        return s._replace(pc=self._set(s.pc, pid, label))
+
+    def _cohort_get(self, s: State, idx: int) -> int:
+        return s.cohort[idx - 1]
+
+    def _cohort_set(self, s: State, idx: int, value: int) -> State:
+        c = list(s.cohort)
+        c[idx - 1] = value
+        return s._replace(cohort=tuple(c))
+
+    def _call(self, s: State, pid: int, entry: str, ret: str) -> State:
+        s = s._replace(retstack=self._set(
+            s.retstack, pid, s.retstack[pid - 1] + (ret,)))
+        return self._goto(s, pid, entry)
+
+    def _return(self, s: State, pid: int) -> State:
+        stack = s.retstack[pid - 1]
+        ret = stack[-1]
+        s = s._replace(retstack=self._set(s.retstack, pid, stack[:-1]))
+        return self._goto(s, pid, ret)
+
+    # -- transition relation ----------------------------------------------
+    def step(self, s: State, pid: int) -> State | None:
+        """The successor when ``pid`` takes its enabled step, or None if
+        ``pid`` is blocked (await not satisfied)."""
+        label = s.pc[pid - 1]
+        i = pid - 1
+        B = self.initial_budget
+
+        # ---- outer process loop ----
+        if label == "p1":
+            return self._goto(s, pid, "ncs")
+        if label == "ncs":
+            return self._goto(s, pid, "enter")
+        if label == "enter":
+            return self._call(s, pid, "c1", "p2")
+        if label == "p2":
+            if not s.passed[i]:
+                return self._call(s, pid, "g1", "cs")
+            return self._goto(s, pid, "cs")
+        if label == "cs":
+            return self._goto(s, pid, "exit")
+        if label == "exit":
+            return self._call(s, pid, "cas", "p1")
+
+        # ---- AcquireCohort ----
+        if label == "c1":
+            s = s._replace(budget=self._set(s.budget, pid, -1),
+                           next_=self._set(s.next_, pid, 0))
+            return self._goto(s, pid, "swap")
+        if label == "swap":
+            tail = self._cohort_get(s, us(pid))
+            s = s._replace(pred=self._set(s.pred, pid, tail))
+            s = self._cohort_set(s, us(pid), pid)
+            return self._goto(s, pid, "cwait")
+        if label == "cwait":
+            if s.pred[i] != 0:
+                return self._goto(s, pid, "c2")
+            return self._goto(s, pid, "c8")
+        if label == "c2":
+            s = s._replace(next_=self._set(s.next_, s.pred[i], pid))
+            if self.bug == "skip_handoff_wait":
+                return self._goto(s, pid, "c7")
+            return self._goto(s, pid, "c3")
+        if label == "c3":
+            if s.budget[i] < 0:
+                return None  # await Budget(self) >= 0
+            return self._goto(s, pid, "c4")
+        if label == "c4":
+            if s.budget[i] == 0:
+                return self._goto(s, pid, "c5")
+            return self._goto(s, pid, "c7")
+        if label == "c5":
+            return self._call(s, pid, "g1", "c6")
+        if label == "c6":
+            s = s._replace(budget=self._set(s.budget, pid, B))
+            return self._goto(s, pid, "c7")
+        if label == "c7":
+            s = s._replace(passed=self._set(s.passed, pid, True))
+            return self._goto(s, pid, "c10")
+        if label == "c8":
+            s = s._replace(budget=self._set(s.budget, pid, B))
+            return self._goto(s, pid, "c9")
+        if label == "c9":
+            s = s._replace(passed=self._set(s.passed, pid, False))
+            return self._goto(s, pid, "c10")
+        if label == "c10":
+            return self._return(s, pid)
+
+        # ---- AcquireGlobal ----
+        if label == "g1":
+            s = s._replace(victim=pid)
+            return self._goto(s, pid, "gwait")
+        if label == "gwait":
+            return self._goto(s, pid, "g2")
+        if label == "g2":
+            if self._cohort_get(s, them(pid)) == 0:
+                return self._goto(s, pid, "g4")
+            return self._goto(s, pid, "g3")
+        if label == "g3":
+            if self.bug != "no_victim_check" and s.victim != pid:
+                return self._goto(s, pid, "g4")
+            return self._goto(s, pid, "gwait")
+        if label == "g4":
+            return self._return(s, pid)
+
+        # ---- ReleaseCohort ----
+        if label == "cas":
+            if self._cohort_get(s, us(pid)) == pid:
+                s = self._cohort_set(s, us(pid), 0)
+                return self._goto(s, pid, "r3")
+            return self._goto(s, pid, "r1")
+        if label == "r1":
+            if s.next_[i] == 0:
+                return None  # await successor link
+            return self._goto(s, pid, "r2")
+        if label == "r2":
+            succ = s.next_[i]
+            s = s._replace(budget=self._set(s.budget, succ, s.budget[i] - 1))
+            return self._goto(s, pid, "r3")
+        if label == "r3":
+            return self._return(s, pid)
+
+        raise ConfigError(f"unknown label {label!r}")  # pragma: no cover
+
+    def successors(self, s: State) -> Iterator[tuple[int, State]]:
+        """All (pid, next state) pairs enabled in ``s``."""
+        for pid in self.pids:
+            nxt = self.step(s, pid)
+            if nxt is not None:
+                yield pid, nxt
+
+    # -- property helpers ----------------------------------------------
+    @staticmethod
+    def in_critical_section(s: State, pid: int) -> bool:
+        return s.pc[pid - 1] == "cs"
+
+    @staticmethod
+    def processes_in_cs(s: State) -> list[int]:
+        return [i + 1 for i, label in enumerate(s.pc) if label == "cs"]

@@ -1,0 +1,79 @@
+"""Per-thread lock-choice streams.
+
+Each client thread owns an independent RNG stream (derived from the
+spec seed + its identity), so runs are reproducible and adding threads
+does not perturb existing streams.  Locality is sampled per operation:
+with probability ``locality_pct`` the thread picks among locks homed on
+its node, otherwise among all other locks — Definition 4.1/4.2 applied
+to the workload, matching the paper's "95% locality" phrasing.
+
+Within the chosen class the lock is uniform by default; the Zipfian
+option (an extension beyond the paper, standard in lock-service
+benchmarks) skews popularity to stress passing behaviour further.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.workload.spec import WorkloadSpec
+
+
+def _zipf_cdf(n: int, theta: float) -> np.ndarray:
+    """CDF of a Zipfian distribution over ranks 1..n with skew theta."""
+    weights = 1.0 / np.power(np.arange(1, n + 1, dtype=np.float64), theta)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    return cdf
+
+
+class LockPicker:
+    """Chooses the target lock index for each of one thread's operations."""
+
+    def __init__(self, spec: WorkloadSpec, node: int, thread: int,
+                 local_indices: list[int], remote_indices: list[int],
+                 rng: np.random.Generator):
+        if not local_indices:
+            raise ConfigError(
+                f"node {node} holds no locks — increase n_locks so every "
+                f"node has a partition")
+        if spec.locality_pct < 100.0 and not remote_indices:
+            raise ConfigError("workload has remote accesses but only one partition")
+        self.spec = spec
+        self.node = node
+        self.thread = thread
+        self.rng = rng
+        self._local = np.asarray(local_indices, dtype=np.int64)
+        self._remote = np.asarray(remote_indices, dtype=np.int64) \
+            if remote_indices else np.empty(0, dtype=np.int64)
+        self._p_local = spec.locality_pct / 100.0
+        if spec.distribution == "zipfian":
+            self._local_cdf = _zipf_cdf(len(self._local), spec.zipf_theta)
+            self._remote_cdf = (_zipf_cdf(len(self._remote), spec.zipf_theta)
+                                if len(self._remote) else None)
+        else:
+            self._local_cdf = None
+            self._remote_cdf = None
+        # statistics
+        self.local_picks = 0
+        self.remote_picks = 0
+
+    def _pick_from(self, indices: np.ndarray, cdf) -> int:
+        if cdf is None:
+            return int(indices[self.rng.integers(0, len(indices))])
+        rank = int(np.searchsorted(cdf, self.rng.random(), side="right"))
+        return int(indices[min(rank, len(indices) - 1)])
+
+    def next_lock(self) -> int:
+        """Lock index for the thread's next operation."""
+        if self._p_local >= 1.0 or self.rng.random() < self._p_local:
+            self.local_picks += 1
+            return self._pick_from(self._local, self._local_cdf)
+        self.remote_picks += 1
+        return self._pick_from(self._remote, self._remote_cdf)
+
+    @property
+    def observed_locality_pct(self) -> float:
+        total = self.local_picks + self.remote_picks
+        return 100.0 * self.local_picks / total if total else 0.0

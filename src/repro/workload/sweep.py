@@ -1,0 +1,84 @@
+"""Parameter-sweep helpers over WorkloadSpec.
+
+The experiment modules loop by hand for precise control; downstream
+users usually want the one-liner: vary an axis (or a grid of axes),
+run each point, and collect a metric.  All points derive from one base
+spec, so every run shares the seed discipline and stays reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.workload.metrics import RunResult
+from repro.workload.runner import run_workload
+from repro.workload.spec import WorkloadSpec
+
+Metric = Callable[[RunResult], float]
+
+
+def throughput_metric(result: RunResult) -> float:
+    return result.throughput_ops_per_sec
+
+
+def p99_metric(result: RunResult) -> float:
+    return result.latency.p99
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a sweep: points in run order."""
+
+    axes: tuple[str, ...]
+    points: list[dict] = field(default_factory=list)
+
+    def column(self, key: str) -> list:
+        return [p[key] for p in self.points]
+
+    def series_by(self, group_axis: str, x_axis: str,
+                  value_key: str = "metric") -> dict[Any, tuple[list, list]]:
+        """Regroup points into ``{group: (xs, ys)}`` for plotting."""
+        series: dict[Any, tuple[list, list]] = {}
+        for p in self.points:
+            xs, ys = series.setdefault(p[group_axis], ([], []))
+            xs.append(p[x_axis])
+            ys.append(p[value_key])
+        return series
+
+    def best(self, maximize: bool = True) -> dict:
+        chooser = max if maximize else min
+        return chooser(self.points, key=lambda p: p["metric"])
+
+
+def sweep(base: WorkloadSpec, axis: str, values: Sequence,
+          metric: Metric = throughput_metric, **run_kwargs) -> SweepResult:
+    """Run ``base`` once per value of one spec field.
+
+    >>> sweep(spec, "threads_per_node", [1, 2, 4]).column("metric")
+    """
+    result = SweepResult(axes=(axis,))
+    for value in values:
+        run = run_workload(base.with_(**{axis: value}), **run_kwargs)
+        result.points.append({axis: value, "metric": metric(run),
+                              "result": run})
+    return result
+
+
+def grid(base: WorkloadSpec, metric: Metric = throughput_metric,
+         **axes: Sequence) -> SweepResult:
+    """Cartesian-product sweep over several spec fields.
+
+    >>> grid(spec, lock_kind=["alock", "mcs"], locality_pct=[85, 95])
+    """
+    names = tuple(axes)
+    result = SweepResult(axes=names)
+    for combo in itertools.product(*(axes[n] for n in names)):
+        overrides = dict(zip(names, combo))
+        run = run_workload(base.with_(**overrides))
+        point = dict(overrides)
+        point["metric"] = metric(run)
+        point["result"] = run
+        result.points.append(point)
+    return result

@@ -1,0 +1,273 @@
+"""Tests for Cluster and ThreadContext."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.common.errors import ConfigError, MemoryError_
+from repro.memory.pointer import MAX_NODES, pack_ptr, ptr_node
+
+
+@pytest.fixture()
+def cluster():
+    return Cluster(3, seed=7)
+
+
+def drive(cluster, gen):
+    p = cluster.env.process(gen)
+    cluster.run()
+    assert p.ok, p.value
+    return p.value
+
+
+class TestConstruction:
+    def test_node_count(self, cluster):
+        assert cluster.n_nodes == 3
+        assert len(cluster.regions) == 3
+        assert len(cluster.network.nics) == 3
+
+    def test_node_count_bounds(self):
+        with pytest.raises(ConfigError):
+            Cluster(0)
+        with pytest.raises(ConfigError):
+            Cluster(MAX_NODES + 1)
+
+    def test_max_nodes_constructible(self):
+        assert Cluster(MAX_NODES).n_nodes == MAX_NODES
+
+    def test_alloc_on_packs_node(self, cluster):
+        ptr = cluster.alloc_on(2, 64)
+        assert ptr_node(ptr) == 2
+
+    def test_thread_ctx_cached(self, cluster):
+        assert cluster.thread_ctx(0, 1) is cluster.thread_ctx(0, 1)
+        assert cluster.thread_ctx(0, 1) is not cluster.thread_ctx(1, 1)
+
+    def test_thread_ctx_bad_node(self, cluster):
+        with pytest.raises(ConfigError):
+            cluster.thread_ctx(9, 0)
+
+    def test_distinct_gids(self, cluster):
+        gids = {cluster.thread_ctx(n, t).gid for n in range(3) for t in range(4)}
+        assert len(gids) == 12
+        assert 0 not in gids  # 0 is reserved for "no owner"
+
+
+class TestLocalOps:
+    def test_read_write_round_trip(self, cluster):
+        ctx = cluster.thread_ctx(1, 0)
+        ptr = cluster.alloc_on(1, 64)
+
+        def proc():
+            yield from ctx.write(ptr, 42)
+            return (yield from ctx.read(ptr))
+
+        assert drive(cluster, proc()) == 42
+
+    def test_local_ops_cost_cpu_time(self, cluster):
+        ctx = cluster.thread_ctx(0, 0)
+        ptr = cluster.alloc_on(0, 64)
+
+        def proc():
+            t0 = cluster.env.now
+            yield from ctx.write(ptr, 1)
+            yield from ctx.read(ptr)
+            yield from ctx.cas(ptr, 1, 2)
+            yield from ctx.fence()
+            return cluster.env.now - t0
+
+        cpu = cluster.config.cpu
+        expected = (cpu.local_write_ns + cpu.local_read_ns
+                    + cpu.local_cas_ns + cpu.fence_ns)
+        assert drive(cluster, proc()) == pytest.approx(expected)
+
+    def test_local_op_on_remote_memory_rejected(self, cluster):
+        """Definition 4.1: shared-memory ops only touch the own node."""
+        ctx = cluster.thread_ctx(0, 0)
+        remote_ptr = cluster.alloc_on(1, 64)
+
+        def proc():
+            yield from ctx.read(remote_ptr)
+
+        p = cluster.env.process(proc())
+        cluster.run()
+        assert not p.ok
+        assert isinstance(p.value, MemoryError_)
+
+    def test_signed_local_ops(self, cluster):
+        ctx = cluster.thread_ctx(0, 0)
+        ptr = cluster.alloc_on(0, 64)
+
+        def proc():
+            yield from ctx.write(ptr, -1)
+            v = yield from ctx.read(ptr, signed=True)
+            old = yield from ctx.cas(ptr, -1, 5, signed=True)
+            return v, old
+
+        assert drive(cluster, proc()) == (-1, -1)
+
+    def test_faa_local(self, cluster):
+        ctx = cluster.thread_ctx(0, 0)
+        ptr = cluster.alloc_on(0, 64)
+
+        def proc():
+            yield from ctx.write(ptr, 10)
+            old = yield from ctx.faa(ptr, 5, signed=True)
+            now = yield from ctx.read(ptr, signed=True)
+            return old, now
+
+        assert drive(cluster, proc()) == (10, 15)
+
+
+class TestRemoteOps:
+    def test_r_write_visible_to_local_reader(self, cluster):
+        writer = cluster.thread_ctx(0, 0)
+        reader = cluster.thread_ctx(2, 0)
+        ptr = cluster.alloc_on(2, 64)
+
+        def proc():
+            yield from writer.r_write(ptr, 77)
+            return (yield from reader.read(ptr))
+
+        assert drive(cluster, proc()) == 77
+
+    def test_remote_much_slower_than_local(self, cluster):
+        """The paper's operation asymmetry: remote ~20x local."""
+        ctx = cluster.thread_ctx(0, 0)
+        local_ptr = cluster.alloc_on(0, 64)
+        remote_ptr = cluster.alloc_on(1, 64)
+        times = {}
+
+        def proc():
+            yield from ctx.r_read(remote_ptr)  # warm QP
+            t0 = cluster.env.now
+            yield from ctx.read(local_ptr)
+            times["local"] = cluster.env.now - t0
+            t1 = cluster.env.now
+            yield from ctx.r_read(remote_ptr)
+            times["remote"] = cluster.env.now - t1
+
+        drive(cluster, proc())
+        assert times["remote"] >= 10 * times["local"]
+
+    def test_op_counters(self, cluster):
+        ctx = cluster.thread_ctx(0, 0)
+        lp = cluster.alloc_on(0, 64)
+        rp = cluster.alloc_on(1, 64)
+
+        def proc():
+            yield from ctx.read(lp)
+            yield from ctx.r_read(rp)
+            yield from ctx.r_cas(rp, 0, 1)
+
+        drive(cluster, proc())
+        assert ctx.local_op_count == 1
+        assert ctx.remote_op_count == 2
+
+
+class TestWaitLocal:
+    def test_returns_immediately_if_satisfied(self, cluster):
+        ctx = cluster.thread_ctx(0, 0)
+        ptr = cluster.alloc_on(0, 64)
+
+        def proc():
+            yield from ctx.write(ptr, 3)
+            v = yield from ctx.wait_local(ptr, lambda x: x == 3)
+            return v
+
+        assert drive(cluster, proc()) == 3
+
+    def test_wakes_on_remote_write(self, cluster):
+        """The MCS handoff path: a remote rWrite wakes the local spinner."""
+        spinner = cluster.thread_ctx(1, 0)
+        remote = cluster.thread_ctx(0, 0)
+        ptr = cluster.alloc_on(1, 64)
+        got = {}
+
+        def spin():
+            v = yield from spinner.wait_local(ptr, lambda x: x != 0)
+            got["v"] = v
+            got["t"] = cluster.env.now
+
+        def write():
+            yield cluster.env.timeout(500)
+            yield from remote.r_write(ptr, 9)
+
+        cluster.env.process(spin())
+        cluster.env.process(write())
+        cluster.run()
+        assert got["v"] == 9
+        assert got["t"] > 500
+
+    def test_signed_predicate(self, cluster):
+        """The descriptor budget spin: wait until budget != -1."""
+        ctx = cluster.thread_ctx(0, 0)
+        other = cluster.thread_ctx(0, 1)
+        ptr = cluster.alloc_on(0, 64)
+        got = {}
+
+        def spin():
+            yield from ctx.write(ptr, -1)
+            v = yield from ctx.wait_local(ptr, lambda b: b != -1, signed=True)
+            got["v"] = v
+
+        def release():
+            yield cluster.env.timeout(1000)
+            yield from other.write(ptr, 5)
+
+        cluster.env.process(spin())
+        cluster.env.process(release())
+        cluster.run()
+        assert got["v"] == 5
+
+    def test_skips_non_matching_writes(self, cluster):
+        ctx = cluster.thread_ctx(0, 0)
+        other = cluster.thread_ctx(0, 1)
+        ptr = cluster.alloc_on(0, 64)
+        got = {}
+
+        def spin():
+            v = yield from ctx.wait_local(ptr, lambda x: x >= 3)
+            got["v"] = v
+
+        def writes():
+            for v in (1, 2, 3):
+                yield cluster.env.timeout(100)
+                yield from other.write(ptr, v)
+
+        cluster.env.process(spin())
+        cluster.env.process(writes())
+        cluster.run()
+        assert got["v"] == 3
+
+    def test_wait_local_any_identifies_writer(self, cluster):
+        ctx = cluster.thread_ctx(0, 0)
+        other = cluster.thread_ctx(0, 1)
+        p1 = cluster.alloc_on(0, 64)
+        p2 = cluster.alloc_on(0, 64)
+        got = {}
+
+        def spin():
+            ptr, raw = yield from ctx.wait_local_any([p1, p2])
+            got["ptr"] = ptr
+            got["raw"] = raw
+
+        def write():
+            yield cluster.env.timeout(50)
+            yield from other.write(p2, 4)
+
+        cluster.env.process(spin())
+        cluster.env.process(write())
+        cluster.run()
+        assert got == {"ptr": p2, "raw": 4}
+
+
+class TestLocality:
+    def test_is_local(self, cluster):
+        ctx = cluster.thread_ctx(1, 0)
+        assert ctx.is_local(pack_ptr(1, 64))
+        assert not ctx.is_local(pack_ptr(0, 64))
+
+    def test_stats_shape(self, cluster):
+        s = cluster.stats()
+        assert set(s) == {"network", "memory", "atomicity_violations"}
+        assert len(s["memory"]) == 3

@@ -1,0 +1,122 @@
+"""Tests for ids, RNG streams, and the trace buffer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.ids import (
+    _THREADS_PER_NODE_MAX,
+    make_global_thread_id,
+    split_global_thread_id,
+)
+from repro.common.rng import RngStreams, derive_seed
+from repro.common.trace import TraceBuffer, TraceEvent
+
+
+class TestGlobalThreadIds:
+    def test_never_zero(self):
+        assert make_global_thread_id(0, 0) == 1
+
+    @given(node=st.integers(0, 31), thread=st.integers(0, 100))
+    def test_round_trip(self, node, thread):
+        gid = make_global_thread_id(node, thread)
+        assert split_global_thread_id(gid) == (node, thread)
+
+    @given(a=st.tuples(st.integers(0, 31), st.integers(0, 100)),
+           b=st.tuples(st.integers(0, 31), st.integers(0, 100)))
+    def test_injective(self, a, b):
+        if a != b:
+            assert make_global_thread_id(*a) != make_global_thread_id(*b)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_global_thread_id(-1, 0)
+
+    def test_packing_bound_enforced(self):
+        with pytest.raises(ValueError):
+            make_global_thread_id(0, _THREADS_PER_NODE_MAX)
+
+    def test_split_rejects_zero(self):
+        with pytest.raises(ValueError):
+            split_global_thread_id(0)
+
+
+class TestDeriveSeed:
+    def test_stable(self):
+        assert derive_seed(42, "workload", 0, 3) == derive_seed(42, "workload", 0, 3)
+
+    def test_key_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_key_parts_not_concatenated(self):
+        """("ab", "c") and ("a", "bc") must differ (separator byte)."""
+        assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+
+    def test_64_bit_range(self):
+        s = derive_seed(7, "x")
+        assert 0 <= s < 2**64
+
+
+class TestRngStreams:
+    def test_cached_per_key(self):
+        streams = RngStreams(1)
+        assert streams.get("a", 1) is streams.get("a", 1)
+        assert streams.get("a", 1) is not streams.get("a", 2)
+
+    def test_independent_streams(self):
+        streams = RngStreams(1)
+        a = streams.get("x").integers(0, 1 << 30, 20).tolist()
+        b = streams.get("y").integers(0, 1 << 30, 20).tolist()
+        assert a != b
+
+    def test_reproducible_across_instances(self):
+        a = RngStreams(9).get("w", 0).integers(0, 1 << 30, 10).tolist()
+        b = RngStreams(9).get("w", 0).integers(0, 1 << 30, 10).tolist()
+        assert a == b
+
+    def test_fork_independence(self):
+        parent = RngStreams(5)
+        child = parent.fork("sub")
+        a = parent.get("k").integers(0, 1 << 30, 10).tolist()
+        b = child.get("k").integers(0, 1 << 30, 10).tolist()
+        assert a != b
+
+
+class TestTraceBuffer:
+    def test_disabled_by_default(self):
+        buf = TraceBuffer()
+        buf.emit(1.0, "t", "kind")
+        assert len(buf) == 0
+
+    def test_emit_and_iterate(self):
+        buf = TraceBuffer(enabled=True)
+        buf.emit(1.0, "t0", "lock", "detail")
+        buf.emit(2.0, "t1", "unlock")
+        events = list(buf)
+        assert [e.kind for e in events] == ["lock", "unlock"]
+
+    def test_capacity_ring(self):
+        buf = TraceBuffer(capacity=3, enabled=True)
+        for i in range(5):
+            buf.emit(float(i), "t", f"k{i}")
+        assert [e.kind for e in buf] == ["k2", "k3", "k4"]
+
+    def test_filtered_by_actor_and_kind(self):
+        buf = TraceBuffer(enabled=True)
+        buf.emit(1.0, "a", "mcs.swap")
+        buf.emit(2.0, "b", "mcs.pass")
+        buf.emit(3.0, "a", "peterson.enter")
+        assert len(buf.filtered(actor="a")) == 2
+        assert len(buf.filtered(kind="mcs")) == 2
+        assert len(buf.filtered(actor="a", kind="mcs")) == 1
+
+    def test_clear(self):
+        buf = TraceBuffer(enabled=True)
+        buf.emit(1.0, "t", "k")
+        buf.clear()
+        assert len(buf) == 0
+
+    def test_event_is_frozen(self):
+        ev = TraceEvent(1.0, "t", "k")
+        with pytest.raises(AttributeError):
+            ev.time = 2.0

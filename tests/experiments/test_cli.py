@@ -1,0 +1,61 @@
+"""Tests for the alock-experiments CLI."""
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+class TestList:
+    def test_list_prints_experiment_ids(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp_id in ("table1", "fig1", "fig4", "fig5", "fig6",
+                       "ext-related", "ext-skew"):
+            assert exp_id in out
+
+
+class TestRun:
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "table1", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out
+        assert "- [x]" in out
+
+    def test_run_writes_markdown_report(self, tmp_path, capsys):
+        report = tmp_path / "out.md"
+        assert main(["run", "table1", "--scale", "smoke",
+                     "--out", str(report)]) == 0
+        text = report.read_text()
+        assert "## table1" in text
+        assert "rCAS" in text
+
+    def test_run_unknown_experiment_raises(self):
+        from repro.common.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["run", "fig99", "--scale", "smoke"])
+
+    def test_seed_changes_are_accepted(self, capsys):
+        assert main(["run", "table1", "--scale", "smoke", "--seed", "5"]) == 0
+
+
+class TestExamplesRun:
+    """The examples are part of the public deliverable: each fast one
+    must execute cleanly end to end."""
+
+    @pytest.mark.parametrize("script,args", [
+        ("quickstart.py", []),
+        ("model_checking.py", ["--processes", "2", "--budget", "1"]),
+        ("lock_table_comparison.py", ["--nodes", "2", "--threads", "2",
+                                      "--locks", "8"]),
+    ])
+    def test_example_runs(self, script, args):
+        import pathlib
+        import subprocess
+        import sys
+
+        path = pathlib.Path(__file__).resolve().parents[2] / "examples" / script
+        result = subprocess.run([sys.executable, str(path), *args],
+                                capture_output=True, text=True, timeout=300)
+        assert result.returncode == 0, result.stderr
+        assert result.stdout  # printed a report

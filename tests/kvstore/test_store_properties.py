@@ -1,0 +1,132 @@
+"""Model-based property tests for the KV store (hypothesis).
+
+A single client applies a random op sequence; a plain dict (keyed by
+bucket, since the store is bucket-granular) predicts every result.
+Separately, concurrent random schedules must keep the conservation and
+checksum witnesses.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster import Cluster
+from repro.kvstore import KVConfig, ShardedKVStore
+
+KEYS = list(range(12))
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.sampled_from(KEYS),
+                  st.integers(-1000, 1000)),
+        st.tuples(st.just("get"), st.sampled_from(KEYS)),
+        st.tuples(st.just("add"), st.sampled_from(KEYS),
+                  st.integers(-50, 50)),
+        st.tuples(st.just("transfer"), st.sampled_from(KEYS),
+                  st.sampled_from(KEYS), st.integers(0, 100)),
+    ),
+    max_size=30)
+
+_SETTINGS = settings(max_examples=30, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestSequentialModel:
+    @given(sequence=ops)
+    @_SETTINGS
+    def test_matches_dict_model(self, sequence):
+        cluster = Cluster(2, seed=1, audit="strict")
+        store = ShardedKVStore(cluster, KVConfig(n_buckets=6))
+        ctx = cluster.thread_ctx(0, 0)
+        model: dict[int, int] = {b: 0 for b in range(6)}
+        observed = []
+
+        def client():
+            for op in sequence:
+                if op[0] == "put":
+                    _, key, value = op
+                    yield from store.put(ctx, key, value)
+                    model[store.bucket_of(key)] = value
+                elif op[0] == "get":
+                    _, key = op
+                    value, _version = yield from store.get(ctx, key)
+                    observed.append((value, model[store.bucket_of(key)]))
+                elif op[0] == "add":
+                    _, key, delta = op
+                    yield from store.add(ctx, key, delta)
+                    model[store.bucket_of(key)] += delta
+                else:
+                    _, src, dst, amount = op
+                    yield from store.transfer(ctx, src, dst, amount)
+                    b_src, b_dst = store.bucket_of(src), store.bucket_of(dst)
+                    if b_src != b_dst:
+                        model[b_src] -= amount
+                        model[b_dst] += amount
+
+        p = cluster.env.process(client())
+        cluster.run()
+        assert p.ok, p.value
+        for got, expected in observed:
+            assert got == expected
+        for bucket in range(6):
+            key = next(k for k in range(1000) if store.bucket_of(k) == bucket)
+            assert store.peek_value(key) == model[bucket]
+        assert store.audit() == []
+
+    @given(sequence=ops)
+    @_SETTINGS
+    def test_total_invariant_under_puts_and_transfers(self, sequence):
+        """Whatever the schedule, total == sum of model buckets and the
+        checksum audit is clean."""
+        cluster = Cluster(2, seed=3, audit="strict")
+        store = ShardedKVStore(cluster, KVConfig(n_buckets=6))
+        ctx = cluster.thread_ctx(1, 0)
+
+        def client():
+            for op in sequence:
+                if op[0] == "put":
+                    yield from store.put(ctx, op[1], op[2])
+                elif op[0] == "get":
+                    yield from store.get(ctx, op[1])
+                elif op[0] == "add":
+                    yield from store.add(ctx, op[1], op[2])
+                else:
+                    yield from store.transfer(ctx, op[1], op[2], op[3])
+
+        p = cluster.env.process(client())
+        cluster.run()
+        assert p.ok, p.value
+        assert store.audit() == []
+        cluster.auditor.assert_clean()
+
+
+class TestConcurrentConservation:
+    @given(seed=st.integers(0, 10_000), n_movers=st.integers(2, 5))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_random_transfer_storms_conserve(self, seed, n_movers):
+        cluster = Cluster(3, seed=seed, audit="record")
+        store = ShardedKVStore(cluster, KVConfig(n_buckets=9))
+        keys = [store.local_keys(n, 1)[0] for n in range(3)]
+
+        def seed_money():
+            ctx = cluster.thread_ctx(0, 0)
+            for key in keys:
+                yield from store.put(ctx, key, 500)
+
+        p = cluster.env.process(seed_money())
+        cluster.run()
+        assert p.ok
+        initial = store.total_value()
+
+        def mover(i):
+            ctx = cluster.thread_ctx(i % 3, 1 + i // 3)
+            rng = cluster.rng.get("prop-mover", i)
+            for _ in range(10):
+                a, b = rng.choice(3, size=2, replace=False)
+                yield from store.transfer(ctx, keys[a], keys[b], 3)
+
+        procs = [cluster.env.process(mover(i)) for i in range(n_movers)]
+        cluster.run()
+        assert all(p.ok for p in procs)
+        assert store.total_value() == initial
+        assert store.audit() == []
+        cluster.auditor.assert_clean()

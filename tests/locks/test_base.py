@@ -1,0 +1,71 @@
+"""Tests for the lock base class and registry."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.common.errors import ConfigError, ProtocolError
+from repro.locks import LOCK_TYPES, make_lock, register_lock_type
+from repro.locks.base import DistributedLock
+
+
+@pytest.fixture()
+def cluster():
+    return Cluster(2, seed=0)
+
+
+class TestRegistry:
+    def test_builtin_types_registered(self):
+        assert {"alock", "spinlock", "mcs"} <= set(LOCK_TYPES)
+
+    def test_make_lock_unknown_kind(self, cluster):
+        with pytest.raises(ConfigError):
+            make_lock("nope", cluster, 0)
+
+    def test_make_lock_builds_each_kind(self, cluster):
+        for kind in ("alock", "spinlock", "mcs"):
+            lock = make_lock(kind, cluster, 1)
+            assert lock.home_node == 1
+            assert lock.kind == kind
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigError):
+            register_lock_type("alock", lambda *a, **k: None)
+
+    def test_options_forwarded(self, cluster):
+        lock = make_lock("alock", cluster, 0, local_budget=3, remote_budget=7)
+        assert lock.local_budget == 3
+        assert lock.remote_budget == 7
+
+
+class TestHolderOracle:
+    def test_home_node_validated(self, cluster):
+        with pytest.raises(ConfigError):
+            make_lock("spinlock", cluster, 5)
+
+    def test_double_acquire_detected(self, cluster):
+        lock = make_lock("spinlock", cluster, 0)
+        a = cluster.thread_ctx(0, 0)
+        b = cluster.thread_ctx(0, 1)
+        lock._note_acquired(a)
+        with pytest.raises(ProtocolError):
+            lock._note_acquired(b)
+
+    def test_release_by_non_holder_detected(self, cluster):
+        lock = make_lock("spinlock", cluster, 0)
+        a = cluster.thread_ctx(0, 0)
+        b = cluster.thread_ctx(0, 1)
+        lock._note_acquired(a)
+        with pytest.raises(ProtocolError):
+            lock._note_released(b)
+
+    def test_acquisition_counter(self, cluster):
+        lock = make_lock("spinlock", cluster, 0)
+        a = cluster.thread_ctx(0, 0)
+        lock._note_acquired(a)
+        lock._note_released(a)
+        lock._note_acquired(a)
+        assert lock.acquisitions == 2
+
+    def test_abstract_base_not_instantiable(self, cluster):
+        with pytest.raises(TypeError):
+            DistributedLock(cluster, 0)

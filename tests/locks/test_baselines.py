@@ -1,0 +1,227 @@
+"""Tests for the RDMA spinlock and RDMA MCS baselines."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.common.errors import ConfigError, ProtocolError
+from repro.locks import RdmaMcsLock, RdmaSpinlock
+
+from tests.locks.helpers import (
+    always_local,
+    always_remote,
+    mixed_locality,
+    single_lock,
+    stress,
+)
+
+
+@pytest.fixture()
+def cluster():
+    return Cluster(3, seed=9)
+
+
+def drive(cluster, *gens):
+    procs = [cluster.env.process(g) for g in gens]
+    cluster.run()
+    for p in procs:
+        assert p.ok, p.value
+    return procs
+
+
+class TestSpinlock:
+    def test_acquire_release(self, cluster):
+        lock = RdmaSpinlock(cluster, 1)
+        ctx = cluster.thread_ctx(0, 0)
+
+        def proc():
+            yield from lock.lock(ctx)
+            assert lock.holder_gid == ctx.gid
+            yield from lock.unlock(ctx)
+
+        drive(cluster, proc())
+        assert lock.holder_gid == 0
+
+    def test_local_access_goes_through_loopback(self, cluster):
+        """The defining difference from ALock: the baseline uses RDMA for
+        local memory too."""
+        lock = RdmaSpinlock(cluster, 0)
+        ctx = cluster.thread_ctx(0, 0)
+
+        def proc():
+            yield from lock.lock(ctx)
+            yield from lock.unlock(ctx)
+
+        drive(cluster, proc())
+        assert cluster.network.loopback_verbs == 2  # rCAS + rWrite
+
+    def test_contention_retries_counted(self, cluster):
+        lock = RdmaSpinlock(cluster, 2)
+
+        def client(node):
+            ctx = cluster.thread_ctx(node, 0)
+            yield from lock.lock(ctx)
+            yield cluster.env.timeout(10_000)
+            yield from lock.unlock(ctx)
+
+        drive(cluster, client(0), client(1))
+        # The waiter spun: more CAS attempts than acquisitions.
+        assert lock.cas_attempts > 2
+
+    def test_backoff_reduces_cas_attempts(self):
+        def attempts(backoff):
+            cluster = Cluster(2, seed=3)
+            lock = RdmaSpinlock(cluster, 0, backoff_ns=backoff)
+
+            def client(node, tid):
+                ctx = cluster.thread_ctx(node, tid)
+                for _ in range(5):
+                    yield from lock.lock(ctx)
+                    yield cluster.env.timeout(5_000)
+                    yield from lock.unlock(ctx)
+
+            procs = [cluster.env.process(client(n, t))
+                     for n in range(2) for t in range(2)]
+            cluster.run()
+            assert all(p.ok for p in procs)
+            return lock.cas_attempts
+
+        assert attempts(backoff=2_000.0) < attempts(backoff=0.0)
+
+    def test_backoff_validation(self, cluster):
+        with pytest.raises(ConfigError):
+            RdmaSpinlock(cluster, 0, backoff_ns=-1)
+
+    def test_reentrant_rejected(self, cluster):
+        lock = RdmaSpinlock(cluster, 0)
+        ctx = cluster.thread_ctx(0, 0)
+
+        def proc():
+            yield from lock.lock(ctx)
+            yield from lock.lock(ctx)
+
+        p = cluster.env.process(proc())
+        cluster.run()
+        assert not p.ok
+        assert isinstance(p.value, ProtocolError)
+
+    def test_unlock_without_holding_rejected(self, cluster):
+        lock = RdmaSpinlock(cluster, 0)
+        ctx = cluster.thread_ctx(0, 0)
+
+        def proc():
+            yield from lock.unlock(ctx)
+
+        p = cluster.env.process(proc())
+        cluster.run()
+        assert not p.ok
+
+    def test_stress_mixed(self):
+        stress("spinlock", n_nodes=3, threads_per_node=2, n_locks=6,
+               ops_per_thread=8, pick_lock=mixed_locality)
+
+    def test_stress_single_lock(self):
+        stress("spinlock", n_nodes=2, threads_per_node=2, n_locks=2,
+               ops_per_thread=6, pick_lock=single_lock)
+
+
+class TestMcsLock:
+    def test_acquire_release(self, cluster):
+        lock = RdmaMcsLock(cluster, 1)
+        ctx = cluster.thread_ctx(0, 0)
+
+        def proc():
+            yield from lock.lock(ctx)
+            assert lock.holder_gid == ctx.gid
+            yield from lock.unlock(ctx)
+
+        drive(cluster, proc())
+        assert lock.holder_gid == 0
+
+    def test_local_access_goes_through_loopback(self, cluster):
+        lock = RdmaMcsLock(cluster, 0)
+        ctx = cluster.thread_ctx(0, 0)
+
+        def proc():
+            yield from lock.lock(ctx)
+            yield from lock.unlock(ctx)
+
+        drive(cluster, proc())
+        # desc init (2 rWrites) + swap rCAS + unlock rCAS, all loopback.
+        assert cluster.network.loopback_verbs == 4
+
+    def test_fifo_handoff(self, cluster):
+        """MCS is a FIFO queue: entry order == arrival order."""
+        lock = RdmaMcsLock(cluster, 2)
+        order = []
+
+        def client(node, delay):
+            ctx = cluster.thread_ctx(node, 0)
+            yield cluster.env.timeout(delay)
+            yield from lock.lock(ctx)
+            order.append(node)
+            yield cluster.env.timeout(20_000)
+            yield from lock.unlock(ctx)
+
+        drive(cluster, client(0, 0), client(1, 4_000), client(2, 8_000))
+        assert order == [0, 1, 2]
+
+    def test_passing_counted(self, cluster):
+        lock = RdmaMcsLock(cluster, 2)
+
+        def client(node):
+            ctx = cluster.thread_ctx(node, 0)
+            yield from lock.lock(ctx)
+            yield cluster.env.timeout(10_000)
+            yield from lock.unlock(ctx)
+
+        drive(cluster, client(0), client(1))
+        assert lock.passes == 1
+        assert lock.spin_polls >= 1
+
+    def test_poll_interval_validation(self, cluster):
+        with pytest.raises(ConfigError):
+            RdmaMcsLock(cluster, 0, poll_interval_ns=-5)
+
+    def test_poll_interval_reduces_polls(self):
+        def polls(interval):
+            cluster = Cluster(2, seed=5)
+            lock = RdmaMcsLock(cluster, 0, poll_interval_ns=interval)
+
+            def client(node):
+                ctx = cluster.thread_ctx(node, 0)
+                yield from lock.lock(ctx)
+                yield cluster.env.timeout(30_000)
+                yield from lock.unlock(ctx)
+
+            procs = [cluster.env.process(client(n)) for n in range(2)]
+            cluster.run()
+            assert all(p.ok for p in procs)
+            return lock.spin_polls
+
+        assert polls(10_000.0) < polls(0.0)
+
+    def test_descriptor_reuse_guard(self, cluster):
+        lock_a = RdmaMcsLock(cluster, 0)
+        lock_b = RdmaMcsLock(cluster, 1)
+        ctx = cluster.thread_ctx(0, 0)
+
+        def proc():
+            yield from lock_a.lock(ctx)
+            yield from lock_b.lock(ctx)  # same descriptor, still in use
+
+        p = cluster.env.process(proc())
+        cluster.run()
+        assert not p.ok
+        assert isinstance(p.value, ProtocolError)
+
+    def test_stress_mixed(self):
+        stress("mcs", n_nodes=3, threads_per_node=2, n_locks=6,
+               ops_per_thread=8, pick_lock=mixed_locality)
+
+    def test_stress_local_only(self):
+        stress("mcs", n_nodes=2, threads_per_node=3, n_locks=4,
+               ops_per_thread=8, pick_lock=always_local)
+
+    def test_stress_remote_only(self):
+        stress("mcs", n_nodes=3, threads_per_node=2, n_locks=3,
+               ops_per_thread=6, pick_lock=always_remote)

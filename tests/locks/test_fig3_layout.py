@@ -1,0 +1,57 @@
+"""Experiment `fig3`: the 64-byte ALock record layout (paper Fig. 3).
+
+Structural reproduction: 8B remote-tail and local-tail pointers plus the
+victim word, padded to a 64B cache line, and the atomicity discipline
+(which API family touches which word) enforced by construction.
+"""
+
+from repro.cluster import Cluster
+from repro.locks.layout import (
+    ALOCK_LAYOUT,
+    COHORT_LOCAL,
+    COHORT_REMOTE,
+    DESCRIPTOR_LAYOUT,
+    MCS_DESCRIPTOR_LAYOUT,
+    MCS_LAYOUT,
+    SPINLOCK_LAYOUT,
+)
+from repro.memory.pointer import ptr_addr
+
+
+class TestFig3ALockLayout:
+    def test_size_is_one_cache_line(self):
+        assert ALOCK_LAYOUT.size == 64
+        assert not ALOCK_LAYOUT.spans_cache_lines()
+
+    def test_field_order_matches_figure(self):
+        assert ALOCK_LAYOUT.offset_of("tail_r") == 0
+        assert ALOCK_LAYOUT.offset_of("tail_l") == 8
+        assert ALOCK_LAYOUT.offset_of("victim") == 16
+
+    def test_pointers_are_eight_bytes(self):
+        """rdma_ptr stays 8B 'to be friendly to RDMA atomic operations':
+        a packed pointer must round-trip through a 64-bit word."""
+        cluster = Cluster(2)
+        ptr = cluster.alloc_on(1, 64)
+        assert 0 <= ptr < (1 << 64)
+
+    def test_cohort_constants_distinct(self):
+        assert COHORT_LOCAL != COHORT_REMOTE
+
+
+class TestAllRecordsPadded:
+    def test_every_lock_record_is_cache_line_padded(self):
+        for layout in (ALOCK_LAYOUT, DESCRIPTOR_LAYOUT, SPINLOCK_LAYOUT,
+                       MCS_LAYOUT, MCS_DESCRIPTOR_LAYOUT):
+            assert layout.size % 64 == 0, layout.name
+
+    def test_descriptor_budget_signed(self):
+        assert DESCRIPTOR_LAYOUT.field_named("budget").signed
+
+    def test_no_two_locks_share_a_cache_line(self):
+        """Allocation discipline: consecutive lock records land on
+        distinct cache lines."""
+        cluster = Cluster(1)
+        a = cluster.alloc_on(0, ALOCK_LAYOUT.size)
+        b = cluster.alloc_on(0, ALOCK_LAYOUT.size)
+        assert ptr_addr(a) // 64 != ptr_addr(b) // 64

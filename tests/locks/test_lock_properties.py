@@ -1,0 +1,98 @@
+"""Property-based lock tests (hypothesis).
+
+For every lock kind, arbitrary deterministic schedules of (thread, lock
+index, op count) must preserve the three mutual-exclusion witnesses:
+guarded-counter conservation, the holder oracle, and a clean Table-1
+audit.  Schedules are small — the value is in the *variety* of
+interleavings hypothesis finds, not volume.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster import Cluster
+from repro.locktable import DistributedLockTable
+
+#: (node, thread, [lock indices]) per client; 2 nodes x up to 2 threads.
+client_schedules = st.lists(
+    st.tuples(st.integers(0, 1), st.integers(0, 1),
+              st.lists(st.integers(0, 3), min_size=1, max_size=6)),
+    min_size=1, max_size=4, unique_by=lambda c: (c[0], c[1]))
+
+FAST_KINDS = ("alock", "spinlock", "mcs", "rpc")
+
+_SETTINGS = settings(max_examples=25, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+def run_schedule(kind, schedule, lock_options=None, seed=0):
+    cluster = Cluster(2, seed=seed, audit="record")
+    table = DistributedLockTable(cluster, 4, kind, lock_options=lock_options)
+    total_ops = sum(len(ops) for _, _, ops in schedule)
+
+    def client(node, thread, ops):
+        ctx = cluster.thread_ctx(node, thread)
+        for idx in ops:
+            yield from table.acquire(ctx, idx)
+            yield from table.guarded_increment(ctx, idx)
+            yield from table.release(ctx, idx)
+
+    procs = [cluster.env.process(client(*c)) for c in schedule]
+    cluster.run()
+    for p in procs:
+        assert p.ok, p.value
+    table.check_counters(total_ops)
+    cluster.auditor.assert_clean()
+    return table
+
+
+class TestScheduleProperties:
+    @given(schedule=client_schedules)
+    @_SETTINGS
+    def test_alock_preserves_counters(self, schedule):
+        run_schedule("alock", schedule)
+
+    @given(schedule=client_schedules)
+    @_SETTINGS
+    def test_alock_tiny_budgets(self, schedule):
+        run_schedule("alock", schedule,
+                     lock_options={"local_budget": 1, "remote_budget": 1})
+
+    @given(schedule=client_schedules)
+    @_SETTINGS
+    def test_spinlock_preserves_counters(self, schedule):
+        run_schedule("spinlock", schedule)
+
+    @given(schedule=client_schedules)
+    @_SETTINGS
+    def test_mcs_preserves_counters(self, schedule):
+        run_schedule("mcs", schedule)
+
+    @given(schedule=client_schedules)
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_rpc_preserves_counters(self, schedule):
+        run_schedule("rpc", schedule)
+
+    @given(schedule=client_schedules, seed=st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_alock_any_seed(self, schedule, seed):
+        run_schedule("alock", schedule, seed=seed)
+
+
+class TestAcquisitionConservation:
+    @given(schedule=client_schedules)
+    @_SETTINGS
+    def test_acquisitions_equal_operations(self, schedule):
+        table = run_schedule("alock", schedule)
+        total_ops = sum(len(ops) for _, _, ops in schedule)
+        assert table.total_acquisitions() == total_ops
+
+    @given(schedule=client_schedules)
+    @_SETTINGS
+    def test_all_locks_free_at_end(self, schedule):
+        table = run_schedule("alock", schedule)
+        for entry in table.entries:
+            assert entry.lock.holder_gid == 0
+            assert not entry.lock.is_locked()

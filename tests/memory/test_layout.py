@@ -1,0 +1,63 @@
+"""Tests for StructLayout / WordField (paper Fig. 3 discipline)."""
+
+import pytest
+
+from repro.common.errors import MemoryError_
+from repro.memory import StructLayout, WordField
+
+
+def make_alock_layout():
+    return StructLayout("ALock", 64, (
+        WordField("tail_r", 0),
+        WordField("tail_l", 8),
+        WordField("victim", 16, signed=True),
+    ))
+
+
+class TestWordField:
+    def test_misaligned_offset_rejected(self):
+        with pytest.raises(MemoryError_):
+            WordField("x", 4)
+
+    def test_signed_flag_default_false(self):
+        assert not WordField("x", 0).signed
+
+
+class TestStructLayout:
+    def test_offsets(self):
+        lay = make_alock_layout()
+        assert lay.offset_of("tail_r") == 0
+        assert lay.offset_of("tail_l") == 8
+        assert lay.offset_of("victim") == 16
+
+    def test_addr_of(self):
+        lay = make_alock_layout()
+        assert lay.addr_of(0x400, "tail_l") == 0x408
+
+    def test_unknown_field(self):
+        with pytest.raises(MemoryError_):
+            make_alock_layout().offset_of("nope")
+
+    def test_size_must_be_cache_line_multiple(self):
+        with pytest.raises(MemoryError_):
+            StructLayout("Bad", 48, (WordField("a", 0),))
+
+    def test_field_overruns_struct(self):
+        with pytest.raises(MemoryError_):
+            StructLayout("Bad", 64, (WordField("a", 64),))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(MemoryError_):
+            StructLayout("Bad", 64, (WordField("a", 0), WordField("a", 8)))
+
+    def test_overlapping_offsets_rejected(self):
+        with pytest.raises(MemoryError_):
+            StructLayout("Bad", 64, (WordField("a", 0), WordField("b", 0)))
+
+    def test_field_names(self):
+        assert make_alock_layout().field_names == ("tail_r", "tail_l", "victim")
+
+    def test_spans_cache_lines(self):
+        assert not make_alock_layout().spans_cache_lines()
+        big = StructLayout("Big", 128, (WordField("a", 0), WordField("b", 64)))
+        assert big.spans_cache_lines()

@@ -1,0 +1,129 @@
+"""Model-based property tests of MemoryRegion (hypothesis).
+
+A random sequence of word operations is applied both to the region and
+to a plain Python dict reference model; the observable values must
+match at every step.  Covers local ops, remote landings, and the
+two-phase remote RMW (whose lost-update semantics the model encodes
+explicitly).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.memory import MemoryRegion
+from repro.memory.region import from_signed, to_signed
+from repro.sim import Environment
+
+ADDRS = [64, 72, 80, 128]
+VALUES = st.integers(-(2**31), 2**31 - 1)
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("write"), st.sampled_from(ADDRS), VALUES),
+        st.tuples(st.just("cas"), st.sampled_from(ADDRS), VALUES, VALUES),
+        st.tuples(st.just("faa"), st.sampled_from(ADDRS), st.integers(-100, 100)),
+        st.tuples(st.just("remote_write"), st.sampled_from(ADDRS), VALUES),
+        st.tuples(st.just("rmw2", ), st.sampled_from(ADDRS), VALUES, VALUES),
+    ),
+    max_size=60)
+
+
+class TestAgainstReferenceModel:
+    @given(sequence=ops)
+    @settings(max_examples=80)
+    def test_word_state_matches_model(self, sequence):
+        env = Environment()
+        region = MemoryRegion(env, 0, 4096)
+        model = {a: 0 for a in ADDRS}
+        for op in sequence:
+            kind = op[0]
+            if kind == "write":
+                _, addr, value = op
+                region.write(addr, value)
+                model[addr] = from_signed(value)
+            elif kind == "cas":
+                _, addr, expected, desired = op
+                old = region.cas(addr, expected, desired)
+                assert old == model[addr]
+                if model[addr] == from_signed(expected):
+                    model[addr] = from_signed(desired)
+            elif kind == "faa":
+                _, addr, delta = op
+                old = region.faa(addr, delta)
+                assert old == model[addr]
+                model[addr] = from_signed(to_signed(model[addr]) + delta)
+            elif kind == "remote_write":
+                _, addr, value = op
+                region.remote_write(addr, value)
+                model[addr] = from_signed(value)
+            elif kind == "rmw2":
+                # two-phase remote CAS, no interleaving local op: must be
+                # equivalent to an atomic CAS
+                _, addr, expected, desired = op
+                old = region.remote_rmw_read(addr)
+                assert old == model[addr]
+                if old == from_signed(expected):
+                    region.remote_rmw_commit(addr, desired)
+                    model[addr] = from_signed(desired)
+            for a in ADDRS:
+                assert region.peek(a) == model[a]
+
+    @given(sequence=ops, interleave_at=st.integers(0, 59), value=VALUES)
+    @settings(max_examples=40)
+    def test_lost_update_semantics(self, sequence, interleave_at, value):
+        """A local write inside an rmw2 window is always overwritten by a
+        committing RMW — the model encodes the Table-1 hazard exactly."""
+        env = Environment()
+        region = MemoryRegion(env, 0, 4096)
+        addr = 64
+        region.write(addr, 7)
+        old = region.remote_rmw_read(addr)
+        region.write(addr, value)            # lands inside the window
+        if old == 7:
+            region.remote_rmw_commit(addr, 9)
+            assert region.peek(addr) == 9    # local write lost
+
+    @given(st.lists(st.tuples(st.sampled_from(ADDRS), VALUES), min_size=1,
+                    max_size=30))
+    @settings(max_examples=50)
+    def test_watchers_fire_for_every_write(self, writes):
+        """A watcher registered before each write observes exactly that
+        write's address/value."""
+        env = Environment()
+        region = MemoryRegion(env, 0, 4096)
+        seen = []
+
+        def observer(addr):
+            ev = region.watch(addr)
+
+            def proc():
+                got = yield ev
+                seen.append(got)
+
+            env.process(proc())
+
+        for addr, value in writes:
+            observer(addr)
+            region.write(addr, value)
+        env.run()
+        assert len(seen) == len(writes)
+        for (addr, value), (got_addr, got_raw) in zip(writes, seen):
+            assert got_addr == addr
+            assert got_raw == from_signed(value)
+
+
+class TestAllocatorProperties:
+    @given(st.lists(st.tuples(st.integers(1, 256),
+                              st.sampled_from([8, 16, 64, 128])),
+                    min_size=1, max_size=30))
+    @settings(max_examples=60)
+    def test_allocations_disjoint_and_aligned(self, requests):
+        env = Environment()
+        region = MemoryRegion(env, 0, 1 << 20)
+        spans = []
+        for nbytes, align in requests:
+            addr = region.alloc(nbytes, align)
+            assert addr % align == 0
+            for start, end in spans:
+                assert addr + nbytes <= start or addr >= end, "overlap"
+            spans.append((addr, addr + nbytes))
+        assert region.bytes_allocated <= 1 << 20

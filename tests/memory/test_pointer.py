@@ -1,0 +1,86 @@
+"""Tests for packed RDMA pointers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import MemoryError_
+from repro.memory import (
+    ADDR_BITS,
+    NULL_PTR,
+    RdmaPointer,
+    is_null,
+    pack_ptr,
+    ptr_addr,
+    ptr_node,
+)
+from repro.memory.pointer import MAX_NODES
+
+
+class TestPacking:
+    def test_null_is_zero(self):
+        assert NULL_PTR == 0
+        assert is_null(NULL_PTR)
+
+    def test_pack_unpack_round_trip(self):
+        p = pack_ptr(7, 0x1234)
+        assert ptr_node(p) == 7
+        assert ptr_addr(p) == 0x1234
+
+    def test_node_zero_nonzero_addr_not_null(self):
+        assert not is_null(pack_ptr(0, 64))
+
+    def test_node_out_of_range(self):
+        with pytest.raises(MemoryError_):
+            pack_ptr(MAX_NODES, 0)
+        with pytest.raises(MemoryError_):
+            pack_ptr(-1, 0)
+
+    def test_addr_out_of_range(self):
+        with pytest.raises(MemoryError_):
+            pack_ptr(0, 1 << ADDR_BITS)
+
+    def test_paper_twenty_node_testbed_representable(self):
+        """The paper runs 20 machines; our widened node field must hold
+        node id 19 (the paper's own 4-bit field could not)."""
+        p = pack_ptr(19, 0x40)
+        assert ptr_node(p) == 19
+
+    @given(node=st.integers(0, MAX_NODES - 1),
+           addr=st.integers(0, (1 << ADDR_BITS) - 1))
+    def test_round_trip_property(self, node, addr):
+        p = pack_ptr(node, addr)
+        assert ptr_node(p) == node
+        assert ptr_addr(p) == addr
+        assert 0 <= p < (1 << 64)
+
+    @given(n1=st.integers(0, MAX_NODES - 1), a1=st.integers(0, 2**20),
+           n2=st.integers(0, MAX_NODES - 1), a2=st.integers(0, 2**20))
+    def test_injective(self, n1, a1, n2, a2):
+        if (n1, a1) != (n2, a2):
+            assert pack_ptr(n1, a1) != pack_ptr(n2, a2)
+
+
+class TestRdmaPointer:
+    def test_make_and_fields(self):
+        p = RdmaPointer.make(3, 128)
+        assert (p.node, p.addr) == (3, 128)
+        assert int(p) == pack_ptr(3, 128)
+
+    def test_null_constructor(self):
+        assert RdmaPointer.null().is_null
+
+    def test_offset(self):
+        p = RdmaPointer.make(2, 64)
+        q = p.offset(8)
+        assert (q.node, q.addr) == (2, 72)
+
+    def test_offset_null_raises(self):
+        with pytest.raises(MemoryError_):
+            RdmaPointer.null().offset(8)
+
+    def test_index_protocol(self):
+        p = RdmaPointer.make(1, 64)
+        assert hex(p) == hex(int(p))
+
+    def test_equality_by_value(self):
+        assert RdmaPointer.make(1, 64) == RdmaPointer(pack_ptr(1, 64))

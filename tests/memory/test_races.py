@@ -1,0 +1,124 @@
+"""Tests for the Table-1 race auditor."""
+
+import pytest
+
+from repro.common.errors import AtomicityViolation
+from repro.memory.races import (
+    LOCAL_READ,
+    LOCAL_RMW,
+    LOCAL_WRITE,
+    RaceAuditor,
+    UNSAFE_PAIRS,
+)
+
+
+@pytest.fixture()
+def auditor():
+    return RaceAuditor(mode="record")
+
+
+def open_window(auditor, node=0, addr=64, start=100.0, end=200.0, op="rCAS"):
+    return auditor.remote_rmw_begin(node, addr, op, "remote", start, end)
+
+
+class TestTable1Matrix:
+    """The UNSAFE_PAIRS set must mirror the paper's Table 1 exactly."""
+
+    def test_local_write_vs_rcas_unsafe(self):
+        assert (LOCAL_WRITE, "rCAS") in UNSAFE_PAIRS
+
+    def test_local_rmw_vs_rcas_unsafe(self):
+        assert (LOCAL_RMW, "rCAS") in UNSAFE_PAIRS
+
+    def test_local_read_always_safe(self):
+        assert all(local != LOCAL_READ for local, _ in UNSAFE_PAIRS)
+
+    def test_exactly_two_unsafe_cells(self):
+        assert len(UNSAFE_PAIRS) == 2
+
+
+class TestDetection:
+    def test_local_write_in_window_flagged(self, auditor):
+        open_window(auditor)
+        auditor.local_op(0, 64, LOCAL_WRITE, "t0", 150.0)
+        assert auditor.violation_count == 1
+        rec = auditor.violations[0]
+        assert rec.local_op == LOCAL_WRITE
+        assert rec.remote_op == "rCAS"
+        assert rec.addr == 64
+
+    def test_local_rmw_in_window_flagged(self, auditor):
+        open_window(auditor)
+        auditor.local_op(0, 64, LOCAL_RMW, "t0", 150.0)
+        assert auditor.violation_count == 1
+
+    def test_local_read_in_window_clean(self, auditor):
+        open_window(auditor)
+        auditor.local_op(0, 64, LOCAL_READ, "t0", 150.0)
+        assert auditor.violation_count == 0
+
+    def test_outside_window_clean(self, auditor):
+        open_window(auditor, start=100.0, end=200.0)
+        auditor.local_op(0, 64, LOCAL_WRITE, "t0", 99.0)
+        auditor.local_op(0, 64, LOCAL_WRITE, "t0", 200.0)  # end exclusive
+        assert auditor.violation_count == 0
+
+    def test_window_start_inclusive(self, auditor):
+        open_window(auditor, start=100.0, end=200.0)
+        auditor.local_op(0, 64, LOCAL_WRITE, "t0", 100.0)
+        assert auditor.violation_count == 1
+
+    def test_different_address_clean(self, auditor):
+        open_window(auditor, addr=64)
+        auditor.local_op(0, 72, LOCAL_WRITE, "t0", 150.0)
+        assert auditor.violation_count == 0
+
+    def test_different_node_clean(self, auditor):
+        open_window(auditor, node=0)
+        auditor.local_op(1, 64, LOCAL_WRITE, "t0", 150.0)
+        assert auditor.violation_count == 0
+
+    def test_retired_window_clean(self, auditor):
+        win = open_window(auditor)
+        auditor.remote_rmw_end(0, win)
+        auditor.local_op(0, 64, LOCAL_WRITE, "t0", 150.0)
+        assert auditor.violation_count == 0
+
+    def test_overlapping_windows_both_checked(self, auditor):
+        open_window(auditor, start=100, end=200)
+        open_window(auditor, start=150, end=250)
+        auditor.local_op(0, 64, LOCAL_WRITE, "t0", 160.0)
+        assert auditor.violation_count == 2
+
+
+class TestModes:
+    def test_strict_raises(self):
+        auditor = RaceAuditor(mode="strict")
+        open_window(auditor)
+        with pytest.raises(AtomicityViolation) as exc:
+            auditor.local_op(0, 64, LOCAL_WRITE, "t0", 150.0)
+        assert exc.value.address == 64
+
+    def test_off_mode_no_bookkeeping(self):
+        auditor = RaceAuditor(mode="off")
+        open_window(auditor)
+        auditor.local_op(0, 64, LOCAL_WRITE, "t0", 150.0)
+        assert auditor.violation_count == 0
+        assert auditor.checked_ops == 0
+
+    def test_assert_clean_raises_on_violation(self, auditor):
+        open_window(auditor)
+        auditor.local_op(0, 64, LOCAL_WRITE, "t0", 150.0)
+        with pytest.raises(AtomicityViolation):
+            auditor.assert_clean()
+
+    def test_assert_clean_passes_when_clean(self, auditor):
+        auditor.assert_clean()
+
+    def test_reset(self, auditor):
+        open_window(auditor)
+        auditor.local_op(0, 64, LOCAL_WRITE, "t0", 150.0)
+        auditor.reset()
+        assert auditor.violation_count == 0
+        auditor.local_op(0, 64, LOCAL_WRITE, "t0", 150.0)
+        assert auditor.violation_count == 0  # window cleared too

@@ -1,0 +1,238 @@
+"""Tests for MemoryRegion: word ops, allocation, watchers, signedness."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import MemoryError_
+from repro.memory import MemoryRegion
+from repro.memory.pointer import CACHE_LINE, ptr_addr, ptr_node
+from repro.memory.region import from_signed, to_signed
+from repro.sim import Environment
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+@pytest.fixture()
+def region(env):
+    return MemoryRegion(env, node_id=1, size_bytes=4096)
+
+
+class TestSignedness:
+    @given(st.integers(-(2**63), 2**63 - 1))
+    def test_signed_round_trip(self, v):
+        assert to_signed(from_signed(v)) == v
+
+    def test_minus_one_is_all_ones(self):
+        assert from_signed(-1) == (1 << 64) - 1
+
+    def test_region_signed_read(self, region):
+        region.write(64, -1)
+        assert region.read_signed(64) == -1
+        assert region.read(64) == (1 << 64) - 1
+
+
+class TestWordOps:
+    def test_zero_initialized(self, region):
+        assert region.read(128) == 0
+
+    def test_write_read(self, region):
+        region.write(64, 0xDEADBEEF)
+        assert region.read(64) == 0xDEADBEEF
+
+    def test_cas_success_returns_old(self, region):
+        region.write(64, 5)
+        old = region.cas(64, 5, 9)
+        assert old == 5
+        assert region.read(64) == 9
+
+    def test_cas_failure_no_write(self, region):
+        region.write(64, 5)
+        old = region.cas(64, 7, 9)
+        assert old == 5
+        assert region.read(64) == 5
+
+    def test_cas_with_negative_expected(self, region):
+        region.write(64, -1)
+        old = region.cas(64, -1, 0)
+        assert to_signed(old) == -1
+        assert region.read(64) == 0
+
+    def test_faa(self, region):
+        region.write(64, 10)
+        assert to_signed(region.faa(64, -3)) == 10
+        assert region.read_signed(64) == 7
+
+    def test_misaligned_access(self, region):
+        with pytest.raises(MemoryError_):
+            region.read(65)
+
+    def test_out_of_bounds(self, region):
+        with pytest.raises(MemoryError_):
+            region.read(4096)
+        with pytest.raises(MemoryError_):
+            region.write(-8, 1)
+
+    def test_stat_counters(self, region):
+        region.read(64)
+        region.write(64, 1)
+        region.cas(64, 1, 2)
+        region.faa(64, 1)
+        assert region.local_reads == 1
+        assert region.local_writes == 1
+        assert region.local_rmws == 2
+
+
+class TestRemoteLanding:
+    def test_remote_write_then_local_read(self, region):
+        region.remote_write(64, 77)
+        assert region.read(64) == 77
+        assert region.remote_ops_landed == 1
+
+    def test_two_phase_rmw_lost_update(self, region):
+        """A local write inside a remote CAS window is overwritten —
+        the Table-1 hazard, reproduced mechanically."""
+        region.write(64, 0)
+        observed = region.remote_rmw_read(64)       # NIC reads 0
+        assert observed == 0
+        region.write(64, 123)                       # local write lands in window
+        region.remote_rmw_commit(64, 1)             # NIC writes back CAS result
+        assert region.read(64) == 1                 # 123 was lost
+
+
+class TestAllocation:
+    def test_first_line_reserved(self, region):
+        assert region.alloc(8) >= CACHE_LINE
+
+    def test_alignment(self, region):
+        region.alloc(8, align=8)
+        addr = region.alloc(64, align=64)
+        assert addr % 64 == 0
+
+    def test_alloc_ptr_packs_node(self, region):
+        p = region.alloc_ptr(64)
+        assert ptr_node(p) == 1
+        assert ptr_addr(p) % 64 == 0
+
+    def test_exhaustion(self, env):
+        small = MemoryRegion(env, 0, 256)
+        small.alloc(128)
+        with pytest.raises(MemoryError_):
+            small.alloc(128)  # only 64B left after reserved line
+
+    def test_bad_sizes(self, region):
+        with pytest.raises(MemoryError_):
+            region.alloc(0)
+        with pytest.raises(MemoryError_):
+            region.alloc(8, align=3)
+
+    def test_region_size_validation(self, env):
+        with pytest.raises(MemoryError_):
+            MemoryRegion(env, 0, 100)  # not a cache-line multiple
+
+
+class TestWatchers:
+    def test_watch_fires_on_local_write(self, env, region):
+        got = {}
+
+        def waiter():
+            got["v"] = yield region.watch(64)
+
+        env.process(waiter())
+
+        def writer():
+            yield env.timeout(10)
+            region.write(64, 42)
+
+        env.process(writer())
+        env.run()
+        assert got["v"] == (64, 42)
+
+    def test_watch_fires_on_remote_write(self, env, region):
+        got = {}
+
+        def waiter():
+            got["v"] = yield region.watch(64)
+
+        env.process(waiter())
+
+        def writer():
+            yield env.timeout(5)
+            region.remote_write(64, 7)
+
+        env.process(writer())
+        env.run()
+        assert got["v"] == (64, 7)
+
+    def test_watch_is_one_shot(self, env, region):
+        hits = []
+
+        def waiter():
+            v = yield region.watch(64)
+            hits.append(v)
+
+        env.process(waiter())
+
+        def writer():
+            yield env.timeout(1)
+            region.write(64, 1)
+            region.write(64, 2)
+
+        env.process(writer())
+        env.run()
+        assert hits == [(64, 1)]
+
+    def test_watch_any_fires_once(self, env, region):
+        got = []
+
+        def waiter():
+            v = yield region.watch_any([64, 72])
+            got.append(v)
+
+        env.process(waiter())
+
+        def writer():
+            yield env.timeout(1)
+            region.write(72, 9)
+            region.write(64, 8)
+
+        env.process(writer())
+        env.run()
+        assert got == [(72, 9)]
+
+    def test_gc_watchers_cleans_triggered(self, env, region):
+        def waiter():
+            yield region.watch_any([64, 72])
+
+        env.process(waiter())
+
+        def writer():
+            yield env.timeout(1)
+            region.write(64, 1)
+
+        env.process(writer())
+        env.run()
+        assert region.watcher_count() == 1  # stale entry under addr 72
+        region.gc_watchers()
+        assert region.watcher_count() == 0
+
+    def test_rmw_commit_wakes_watcher(self, env, region):
+        """The MCS wakeup path: predecessor's remote write-back must wake
+        a spinner parked on the word."""
+        got = {}
+
+        def waiter():
+            got["v"] = yield region.watch(64)
+
+        env.process(waiter())
+
+        def remote():
+            yield env.timeout(3)
+            region.remote_rmw_read(64)
+            region.remote_rmw_commit(64, 55)
+
+        env.process(remote())
+        env.run()
+        assert got["v"] == (64, 55)

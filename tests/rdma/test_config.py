@@ -1,0 +1,94 @@
+"""Tests for RDMA configuration validation, overrides, and fabric jitter."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.common.errors import ConfigError
+from repro.rdma import CostModel, FabricConfig, NicConfig, RdmaConfig
+from repro.rdma.config import unloaded_remote_read_ns
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", [
+        "tx_service_ns", "rx_service_ns", "atomic_window_ns",
+        "pcie_crossing_ns", "qpc_miss_penalty_ns", "loopback_turnaround_ns"])
+    def test_negative_nic_latency_rejected(self, field):
+        with pytest.raises(ConfigError):
+            NicConfig(**{field: -1.0})
+
+    def test_pcie_lanes_positive(self):
+        with pytest.raises(ConfigError):
+            NicConfig(pcie_lanes=0)
+
+    def test_qpc_entries_positive(self):
+        with pytest.raises(ConfigError):
+            NicConfig(qpc_cache_entries=0)
+
+    def test_congestion_cap_at_least_one(self):
+        with pytest.raises(ConfigError):
+            NicConfig(rx_congestion_max_factor=0.5)
+
+    def test_fabric_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            FabricConfig(one_way_latency_ns=-1)
+        with pytest.raises(ConfigError):
+            FabricConfig(jitter_ns=-1)
+
+    def test_cpu_negative_rejected(self):
+        with pytest.raises(ConfigError):
+            CostModel(local_cas_ns=-1)
+
+
+class TestOverrides:
+    def test_with_nic_returns_new_config(self):
+        base = RdmaConfig()
+        tuned = base.with_nic(tx_service_ns=999.0)
+        assert tuned.nic.tx_service_ns == 999.0
+        assert base.nic.tx_service_ns != 999.0  # original untouched
+
+    def test_with_fabric_and_cpu(self):
+        cfg = RdmaConfig().with_fabric(one_way_latency_ns=10.0).with_cpu(
+            fence_ns=1.0)
+        assert cfg.fabric.one_way_latency_ns == 10.0
+        assert cfg.cpu.fence_ns == 1.0
+
+    def test_unloaded_model_tracks_overrides(self):
+        slow = RdmaConfig().with_fabric(one_way_latency_ns=5_000.0)
+        assert (unloaded_remote_read_ns(slow)
+                > unloaded_remote_read_ns(RdmaConfig()) + 8_000)
+
+
+class TestFabricJitter:
+    def _latencies(self, jitter_ns, seed=0, n=10):
+        cfg = RdmaConfig().with_fabric(jitter_ns=jitter_ns)
+        cluster = Cluster(2, seed=seed, config=cfg, audit="off")
+        ctx = cluster.thread_ctx(0, 0)
+        ptr = cluster.alloc_on(1, 64)
+        samples = []
+
+        def proc():
+            yield from ctx.r_read(ptr)  # warm QP
+            for _ in range(n):
+                t0 = cluster.env.now
+                yield from ctx.r_read(ptr)
+                samples.append(cluster.env.now - t0)
+
+        p = cluster.env.process(proc())
+        cluster.run()
+        assert p.ok, p.value
+        return samples
+
+    def test_zero_jitter_constant_latency(self):
+        assert len(set(self._latencies(0.0))) == 1
+
+    def test_jitter_varies_latency(self):
+        assert len(set(self._latencies(200.0))) > 1
+
+    def test_jitter_bounded(self):
+        base = self._latencies(0.0)[0]
+        for sample in self._latencies(200.0):
+            assert base <= sample <= base + 2 * 200.0 + 1e-9
+
+    def test_jitter_deterministic_per_seed(self):
+        assert self._latencies(200.0, seed=4) == self._latencies(200.0, seed=4)
+        assert self._latencies(200.0, seed=4) != self._latencies(200.0, seed=5)

@@ -1,0 +1,137 @@
+"""Tests for the two-sided RPC transport."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.common.errors import ConfigError
+from repro.rdma.rpc import HANDLER_CPU_NS, LOCAL_IPC_NS, RpcTransport
+
+
+@pytest.fixture()
+def cluster():
+    return Cluster(3, seed=5)
+
+
+@pytest.fixture()
+def transport(cluster):
+    return RpcTransport(cluster.env, cluster.network)
+
+
+def echo_handler(request):
+    return ("echo", request.payload), False
+
+
+class TestBasicRpc:
+    def test_call_and_reply(self, cluster, transport):
+        cluster.env.process(transport.serve(1, echo_handler))
+        got = {}
+
+        def client():
+            got["reply"] = yield from transport.call(0, 0, 1, "hello")
+
+        p = cluster.env.process(client())
+        cluster.run(until=p)
+        assert got["reply"] == ("echo", "hello")
+
+    def test_bad_destination(self, cluster, transport):
+        def client():
+            yield from transport.call(0, 0, 9, "x")
+
+        p = cluster.env.process(client())
+        cluster.run()
+        assert not p.ok
+        assert isinstance(p.value, ConfigError)
+
+    def test_remote_call_costs_two_traversals(self, cluster, transport):
+        cluster.env.process(transport.serve(1, echo_handler))
+        times = {}
+
+        def client():
+            t0 = cluster.env.now
+            yield from transport.call(0, 0, 1, 1)
+            times["first"] = cluster.env.now - t0
+            t1 = cluster.env.now
+            yield from transport.call(0, 0, 1, 2)
+            times["warm"] = cluster.env.now - t1
+
+        p = cluster.env.process(client())
+        cluster.run(until=p)
+        # warm call: ~2 one-way paths + handler CPU, i.e. several us
+        assert times["warm"] > 2_000
+        assert times["warm"] >= HANDLER_CPU_NS
+
+    def test_local_call_uses_ipc(self, cluster, transport):
+        cluster.env.process(transport.serve(0, echo_handler))
+        times = {}
+
+        def client():
+            t0 = cluster.env.now
+            yield from transport.call(0, 0, 0, "local")
+            times["local"] = cluster.env.now - t0
+
+        p = cluster.env.process(client())
+        cluster.run(until=p)
+        assert transport.local_ipc_messages == 2
+        assert cluster.network.nics[0].tx_ops == 0
+        assert times["local"] == pytest.approx(2 * LOCAL_IPC_NS + HANDLER_CPU_NS)
+
+    def test_messages_counted(self, cluster, transport):
+        cluster.env.process(transport.serve(1, echo_handler))
+
+        def client():
+            for i in range(3):
+                yield from transport.call(0, 0, 1, i)
+
+        p = cluster.env.process(client())
+        cluster.run(until=p)
+        assert transport.messages_sent == 6  # 3 requests + 3 replies
+
+
+class TestServerSerialization:
+    def test_server_cpu_is_a_bottleneck(self, cluster, transport):
+        """Concurrent requests from co-located clients serialize on the
+        single server CPU: total time ~ n x handler time."""
+        cluster.env.process(transport.serve(0, echo_handler))
+        finish = []
+
+        def client(tid):
+            yield from transport.call(0, tid, 0, tid)
+            finish.append(cluster.env.now)
+
+        n = 8
+        for tid in range(n):
+            cluster.env.process(client(tid))
+        cluster.run()
+        assert len(finish) == n
+        assert max(finish) >= n * HANDLER_CPU_NS
+
+    def test_deferred_reply(self, cluster, transport):
+        """A handler can hold a request and reply later (lock grants)."""
+        held = []
+
+        def handler(request):
+            if request.payload == "hold":
+                held.append(request)
+                return None, True
+            # "release": complete the held request first
+            if held:
+                transport.reply(1, held.pop(), "finally")
+            return "ok", False
+
+        cluster.env.process(transport.serve(1, handler))
+        got = {}
+
+        def holder():
+            got["held"] = yield from transport.call(0, 0, 1, "hold")
+            got["held_at"] = cluster.env.now
+
+        def releaser():
+            yield cluster.env.timeout(50_000)
+            got["rel"] = yield from transport.call(2, 0, 1, "release")
+
+        cluster.env.process(holder())
+        cluster.env.process(releaser())
+        cluster.run()
+        assert got["held"] == "finally"
+        assert got["held_at"] > 50_000
+        assert got["rel"] == "ok"

@@ -1,0 +1,369 @@
+"""Unit tests for the discrete-event engine core."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Environment, Interrupt, Timeout
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+class TestClock:
+    def test_starts_at_zero(self, env):
+        assert env.now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(100.0).now == 100.0
+
+    def test_timeout_advances_clock(self, env):
+        done = {}
+
+        def proc():
+            yield env.timeout(50)
+            done["t"] = env.now
+
+        env.process(proc())
+        env.run()
+        assert done["t"] == 50
+
+    def test_run_until_time_sets_now(self, env):
+        def noop():
+            yield env.timeout(1)
+
+        env.process(noop())
+        env.run(until=1000)
+        assert env.now == 1000
+
+    def test_non_generator_process_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.process(iter(()))  # plain iterators have no send()
+
+    def test_run_until_past_raises(self, env):
+        env.run(until=10)
+        with pytest.raises(SimulationError):
+            env.run(until=5)
+
+    def test_peek_empty_is_inf(self, env):
+        assert env.peek() == float("inf")
+
+    def test_step_empty_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.step()
+
+
+class TestTimeout:
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(SimulationError):
+            Timeout(env, -1)
+
+    def test_timeout_value_passthrough(self, env):
+        got = {}
+
+        def proc():
+            got["v"] = yield env.timeout(5, value="payload")
+
+        env.process(proc())
+        env.run()
+        assert got["v"] == "payload"
+
+    def test_simultaneous_timeouts_fifo(self, env):
+        order = []
+
+        def proc(tag):
+            yield env.timeout(10)
+            order.append(tag)
+
+        for tag in "abc":
+            env.process(proc(tag))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestEvent:
+    def test_succeed_delivers_value(self, env):
+        ev = env.event()
+        got = {}
+
+        def proc():
+            got["v"] = yield ev
+
+        env.process(proc())
+        ev.succeed(42)
+        env.run()
+        assert got["v"] == 42
+
+    def test_double_trigger_raises(self, env):
+        ev = env.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_fail_raises_in_waiter(self, env):
+        ev = env.event()
+        caught = {}
+
+        def proc():
+            try:
+                yield ev
+            except ValueError as exc:
+                caught["e"] = exc
+
+        env.process(proc())
+        ev.fail(ValueError("boom"))
+        env.run()
+        assert isinstance(caught["e"], ValueError)
+
+    def test_fail_requires_exception(self, env):
+        with pytest.raises(SimulationError):
+            env.event().fail("not an exception")  # type: ignore[arg-type]
+
+    def test_wait_on_processed_event_resumes(self, env):
+        """A process that yields an already-processed event continues."""
+        ev = env.event()
+        ev.succeed("early")
+        env.run()
+        got = {}
+
+        def proc():
+            got["v"] = yield ev
+
+        env.process(proc())
+        env.run()
+        assert got["v"] == "early"
+
+    def test_value_before_trigger_raises(self, env):
+        ev = env.event()
+        with pytest.raises(SimulationError):
+            _ = ev.value
+
+    def test_multiple_waiters_all_resumed(self, env):
+        ev = env.event()
+        got = []
+
+        def proc(i):
+            v = yield ev
+            got.append((i, v))
+
+        for i in range(3):
+            env.process(proc(i))
+        ev.succeed("x")
+        env.run()
+        assert got == [(0, "x"), (1, "x"), (2, "x")]
+
+
+class TestProcess:
+    def test_return_value_is_event_value(self, env):
+        def inner():
+            yield env.timeout(1)
+            return 99
+
+        def outer():
+            v = yield env.process(inner())
+            return v + 1
+
+        p = env.process(outer())
+        env.run()
+        assert p.value == 100
+
+    def test_yield_non_event_fails_process(self, env):
+        def bad():
+            yield 42
+
+        p = env.process(bad())
+        env.run()
+        assert not p.ok
+        assert isinstance(p.value, SimulationError)
+
+    def test_exception_propagates_to_parent(self, env):
+        def inner():
+            yield env.timeout(1)
+            raise RuntimeError("inner failed")
+
+        caught = {}
+
+        def outer():
+            try:
+                yield env.process(inner())
+            except RuntimeError as exc:
+                caught["e"] = exc
+
+        env.process(outer())
+        env.run()
+        assert str(caught["e"]) == "inner failed"
+
+    def test_is_alive_lifecycle(self, env):
+        def proc():
+            yield env.timeout(10)
+
+        p = env.process(proc())
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_interrupt_delivers_cause(self, env):
+        caught = {}
+
+        def victim():
+            try:
+                yield env.timeout(1000)
+            except Interrupt as intr:
+                caught["cause"] = intr.cause
+                caught["time"] = env.now
+
+        def attacker(p):
+            yield env.timeout(10)
+            p.interrupt("stop it")
+
+        p = env.process(victim())
+        env.process(attacker(p))
+        env.run()
+        assert caught["cause"] == "stop it"
+        assert caught["time"] == 10
+
+    def test_interrupt_finished_process_noop(self, env):
+        def quick():
+            yield env.timeout(1)
+
+        p = env.process(quick())
+        env.run()
+        p.interrupt()  # must not raise
+
+    def test_unhandled_interrupt_fails_process(self, env):
+        def victim():
+            yield env.timeout(1000)
+
+        def attacker(p):
+            yield env.timeout(1)
+            p.interrupt("kill")
+
+        p = env.process(victim())
+        env.process(attacker(p))
+        env.run()
+        assert not p.ok
+        assert isinstance(p.value, Interrupt)
+
+    def test_run_until_event(self, env):
+        def proc():
+            yield env.timeout(7)
+            return "done"
+
+        p = env.process(proc())
+        assert env.run(until=p) == "done"
+        assert env.now == 7
+
+    def test_run_until_event_deadlock_detected(self, env):
+        ev = env.event()  # never triggered
+
+        def proc():
+            yield ev
+
+        p = env.process(proc())
+        with pytest.raises(SimulationError):
+            env.run(until=p)
+
+    def test_nested_processes_three_deep(self, env):
+        def level(n):
+            if n == 0:
+                yield env.timeout(5)
+                return 1
+            v = yield env.process(level(n - 1))
+            return v + 1
+
+        p = env.process(level(3))
+        env.run()
+        assert p.value == 4
+        assert env.now == 5
+
+
+class TestConditions:
+    def test_any_of_first_wins(self, env):
+        t1 = env.timeout(10, value="fast")
+        t2 = env.timeout(20, value="slow")
+        got = {}
+
+        def proc():
+            got["r"] = yield AnyOf(env, [t1, t2])
+
+        env.process(proc())
+        env.run()
+        assert got["r"] == {t1: "fast"}
+        # env.run() drains t2 as well
+
+    def test_all_of_waits_for_all(self, env):
+        t1 = env.timeout(10, value=1)
+        t2 = env.timeout(20, value=2)
+        got = {}
+
+        def proc():
+            got["r"] = yield AllOf(env, [t1, t2])
+            got["t"] = env.now
+
+        env.process(proc())
+        env.run()
+        assert got["r"] == {t1: 1, t2: 2}
+        assert got["t"] == 20
+
+    def test_empty_condition_triggers_immediately(self, env):
+        got = {}
+
+        def proc():
+            got["r"] = yield env.all_of([])
+
+        env.process(proc())
+        env.run()
+        assert got["r"] == {}
+
+    def test_any_of_failure_propagates(self, env):
+        ev = env.event()
+        caught = {}
+
+        def proc():
+            try:
+                yield env.any_of([ev, env.timeout(100)])
+            except KeyError as exc:
+                caught["e"] = exc
+
+        env.process(proc())
+        ev.fail(KeyError("bad"))
+        env.run()
+        assert isinstance(caught["e"], KeyError)
+
+    def test_cross_environment_condition_rejected(self, env):
+        other = Environment()
+        ev = other.event()
+        with pytest.raises(SimulationError):
+            env.any_of([ev])
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traces(self):
+        def build_and_run():
+            env = Environment()
+            log = []
+
+            def worker(i, delay):
+                yield env.timeout(delay)
+                log.append((i, env.now))
+                yield env.timeout(delay * 2)
+                log.append((i, env.now))
+
+            for i in range(5):
+                env.process(worker(i, 10 + i * 3))
+            env.run()
+            return log, env.event_count
+
+        a = build_and_run()
+        b = build_and_run()
+        assert a == b
+
+    def test_event_count_increments(self, env):
+        def proc():
+            for _ in range(10):
+                yield env.timeout(1)
+
+        env.process(proc())
+        env.run()
+        assert env.event_count >= 10

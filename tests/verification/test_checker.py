@@ -1,0 +1,103 @@
+"""Model-checking the appendix properties (and confirming the checker
+has teeth against injected bugs)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.verification import (
+    ALockSpec,
+    check_deadlock_freedom,
+    check_mutual_exclusion,
+    check_progress_possibility,
+    explore,
+)
+
+
+class TestMutualExclusion:
+    def test_holds_two_processes(self):
+        result = check_mutual_exclusion(ALockSpec(2, 1))
+        assert result.holds
+        assert result.states_explored > 100
+
+    def test_holds_two_processes_budget_three(self):
+        assert check_mutual_exclusion(ALockSpec(2, 3)).holds
+
+    def test_holds_three_processes(self):
+        """NP=3 exercises intra-cohort passing (pids 1 and 3 share a
+        cohort) on top of the Peterson competition."""
+        result = check_mutual_exclusion(ALockSpec(3, 2))
+        assert result.holds
+        assert result.states_explored > 50_000
+
+    def test_single_process_trivially_holds(self):
+        assert check_mutual_exclusion(ALockSpec(1, 1)).holds
+
+
+class TestDeadlockFreedom:
+    def test_holds_two_processes(self):
+        assert check_deadlock_freedom(ALockSpec(2, 2)).holds
+
+    def test_holds_three_processes_budget_one(self):
+        assert check_deadlock_freedom(ALockSpec(3, 1)).holds
+
+
+class TestProgressPossibility:
+    def test_holds_two_processes(self):
+        result = check_progress_possibility(ALockSpec(2, 2))
+        assert result.holds
+
+    def test_holds_three_processes_budget_one(self):
+        result = check_progress_possibility(ALockSpec(3, 1))
+        assert result.holds
+
+
+class TestCheckerHasTeeth:
+    def test_skip_handoff_wait_breaks_mutual_exclusion(self):
+        """Skipping the budget await lets a waiter enter alongside its
+        predecessor — the checker must find it and produce a trace."""
+        result = check_mutual_exclusion(ALockSpec(3, 2, bug="skip_handoff_wait"))
+        assert not result.holds
+        cex = result.counterexample
+        assert cex is not None
+        # trace ends in a state with two processes in cs
+        final = cex.states[-1]
+        assert len([l for l in final.pc if l == "cs"]) > 1
+        # trace is a valid run: starts at an initial state
+        assert cex.states[0] in ALockSpec(3, 2, bug="skip_handoff_wait").initial_states()
+        assert len(cex.actions) == len(cex.states) - 1
+
+    def test_counterexample_trace_is_executable(self):
+        """Replaying the counterexample's actions reproduces its states."""
+        spec = ALockSpec(3, 2, bug="skip_handoff_wait")
+        cex = check_mutual_exclusion(spec).counterexample
+        state = cex.states[0]
+        for pid, expected in zip(cex.actions, cex.states[1:]):
+            state = spec.step(state, pid)
+            assert state == expected
+
+    def test_no_victim_check_livelocks(self):
+        """Without the victim yield, two cohort leaders block each other
+        forever: still deadlock-'free' (they keep spinning) but progress
+        becomes impossible — exactly a livelock."""
+        spec = ALockSpec(2, 1, bug="no_victim_check")
+        assert check_deadlock_freedom(spec).holds  # spinning is 'enabled'
+        result = check_progress_possibility(spec)
+        assert not result.holds
+
+    def test_buggy_spec_reaches_double_cs_states(self):
+        """The buggy reachable space contains states the invariant
+        forbids; the correct one does not."""
+        spec = ALockSpec(3, 2, bug="skip_handoff_wait")
+        assert not check_mutual_exclusion(spec).holds
+        assert check_mutual_exclusion(ALockSpec(3, 2)).holds
+
+
+class TestExploreBounds:
+    def test_max_states_raises_not_truncates(self):
+        with pytest.raises(ConfigError):
+            explore(ALockSpec(3, 1), max_states=100)
+
+    def test_reachability_counts_deterministic(self):
+        a = explore(ALockSpec(2, 2)).states_explored
+        b = explore(ALockSpec(2, 2)).states_explored
+        assert a == b == 730

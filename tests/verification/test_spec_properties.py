@@ -1,0 +1,71 @@
+"""Property-based invariants of the PlusCal transition system.
+
+Random walks through the state graph must preserve structural
+invariants TLC would check as type/state invariants: budgets stay in
+[-1, B], cohort tails are valid pids, return stacks stay shallow, and
+the walk never wedges (deadlock freedom along arbitrary paths).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.verification import ALockSpec
+from repro.verification.spec import us
+
+
+def random_walk(spec, choices, steps):
+    """Walk the graph following `choices` (wrapping indices over the
+    enabled successors); returns the visited states."""
+    state = spec.initial_states()[choices[0] % 2]
+    visited = [state]
+    for i in range(steps):
+        succs = list(spec.successors(state))
+        assert succs, f"deadlock at {state}"
+        _pid, state = succs[choices[(i + 1) % len(choices)] % len(succs)]
+        visited.append(state)
+    return visited
+
+
+walks = st.lists(st.integers(0, 10_000), min_size=1, max_size=40)
+
+
+class TestStructuralInvariants:
+    @given(choices=walks, np_=st.integers(1, 4), budget=st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_random_walk_invariants(self, choices, np_, budget):
+        spec = ALockSpec(np_, budget)
+        for state in random_walk(spec, choices, steps=60):
+            # budgets within [-1, B]
+            assert all(-1 <= b <= budget for b in state.budget), state
+            # cohort tails are 0 or a live pid of the right parity
+            for idx in (1, 2):
+                tail = state.cohort[idx - 1]
+                assert tail == 0 or (1 <= tail <= np_ and us(tail) == idx)
+            # next pointers reference live pids
+            assert all(0 <= n <= np_ for n in state.next_)
+            # victim is an initial cohort id or a pid
+            assert 1 <= state.victim <= max(np_, 2)
+            # call stacks never exceed one frame (procedures don't nest
+            # beyond AcquireCohort -> AcquireGlobal)
+            assert all(len(s) <= 2 for s in state.retstack)
+            # at most one process in cs (spot-check of the invariant)
+            assert len(spec.processes_in_cs(state)) <= 1
+
+    @given(choices=walks)
+    @settings(max_examples=40, deadline=None)
+    def test_walks_are_deterministic(self, choices):
+        spec = ALockSpec(3, 2)
+        a = random_walk(spec, choices, steps=40)
+        b = random_walk(spec, choices, steps=40)
+        assert a == b
+
+    @given(choices=walks, np_=st.integers(2, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_step_is_pure(self, choices, np_):
+        """step() must not mutate its input state."""
+        spec = ALockSpec(np_, 2)
+        state = spec.initial_states()[0]
+        for i in range(30):
+            snapshot = state
+            succs = list(spec.successors(state))
+            assert state == snapshot  # unchanged by enumeration
+            _pid, state = succs[choices[i % len(choices)] % len(succs)]

@@ -1,0 +1,79 @@
+"""Tests for the fairness metrics and their integration with runs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workload import (
+    FairnessReport,
+    WorkloadSpec,
+    jain_index,
+    min_max_share,
+    run_workload,
+)
+
+
+class TestJainIndex:
+    def test_perfect_equality(self):
+        assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_total_starvation(self):
+        assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_empty_is_nan(self):
+        import math
+        assert math.isnan(jain_index([]))
+
+    def test_all_zero_degenerate(self):
+        assert jain_index([0, 0]) == 1.0
+
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=20))
+    def test_bounds(self, counts):
+        j = jain_index(counts)
+        assert 1.0 / len(counts) - 1e-9 <= j <= 1.0 + 1e-9
+
+    @given(st.lists(st.integers(1, 1000), min_size=2, max_size=20),
+           st.integers(2, 5))
+    def test_scale_invariant(self, counts, k):
+        assert jain_index(counts) == pytest.approx(
+            jain_index([c * k for c in counts]))
+
+
+class TestMinMaxShare:
+    def test_equality(self):
+        assert min_max_share([3, 3, 3]) == 1.0
+
+    def test_starvation(self):
+        assert min_max_share([0, 10]) == 0.0
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=10))
+    def test_bounds(self, counts):
+        s = min_max_share(counts)
+        assert 0.0 <= s <= 1.0
+
+
+class TestFairnessReport:
+    def test_from_per_thread_ops(self):
+        report = FairnessReport.from_per_thread_ops(
+            {(0, 0): 10, (0, 1): 10, (1, 0): 10})
+        assert report.jain == pytest.approx(1.0)
+        assert report.split_by_node() == {0: 20, 1: 10}
+
+
+class TestRunFairness:
+    def test_count_mode_run_is_trivially_fair(self):
+        result = run_workload(WorkloadSpec(
+            n_nodes=2, threads_per_node=2, n_locks=4, lock_kind="alock",
+            ops_per_thread=10, audit="off"))
+        report = FairnessReport.from_per_thread_ops(result.per_thread_ops)
+        assert report.jain == pytest.approx(1.0)
+
+    def test_alock_duration_run_is_fair_across_threads(self):
+        """In a symmetric contended workload, no thread should get a
+        disproportionate share — the budget policy at work."""
+        result = run_workload(WorkloadSpec(
+            n_nodes=2, threads_per_node=4, n_locks=2, locality_pct=100.0,
+            lock_kind="alock", warmup_ns=100_000, measure_ns=800_000,
+            audit="off"))
+        report = FairnessReport.from_per_thread_ops(result.per_thread_ops)
+        assert report.jain > 0.9
+        assert report.min_max > 0.5

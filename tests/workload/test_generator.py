@@ -1,0 +1,81 @@
+"""Tests for the per-thread lock picker."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workload import LockPicker, WorkloadSpec
+
+
+def make_picker(locality=90.0, local=(0, 2), remote=(1, 3, 5),
+                distribution="uniform", seed=0, theta=0.99):
+    spec = WorkloadSpec(n_nodes=2, n_locks=6, locality_pct=locality,
+                        distribution=distribution, zipf_theta=theta)
+    return LockPicker(spec, node=0, thread=0,
+                      local_indices=list(local), remote_indices=list(remote),
+                      rng=np.random.default_rng(seed))
+
+
+class TestLocality:
+    def test_full_locality_only_local(self):
+        picker = make_picker(locality=100.0)
+        picks = {picker.next_lock() for _ in range(200)}
+        assert picks <= {0, 2}
+        assert picker.remote_picks == 0
+
+    def test_zero_locality_only_remote(self):
+        picker = make_picker(locality=0.0)
+        picks = {picker.next_lock() for _ in range(200)}
+        assert picks <= {1, 3, 5}
+        assert picker.local_picks == 0
+
+    def test_observed_locality_tracks_target(self):
+        picker = make_picker(locality=90.0)
+        for _ in range(5000):
+            picker.next_lock()
+        assert picker.observed_locality_pct == pytest.approx(90.0, abs=2.0)
+
+    def test_empty_local_partition_rejected(self):
+        spec = WorkloadSpec(n_nodes=2, n_locks=4)
+        with pytest.raises(ConfigError):
+            LockPicker(spec, 0, 0, [], [1, 2], np.random.default_rng(0))
+
+    def test_remote_needed_but_missing_rejected(self):
+        spec = WorkloadSpec(n_nodes=2, n_locks=4, locality_pct=50)
+        with pytest.raises(ConfigError):
+            LockPicker(spec, 0, 0, [0, 1], [], np.random.default_rng(0))
+
+
+class TestDistributions:
+    def test_uniform_covers_all_local_locks(self):
+        picker = make_picker(locality=100.0, local=tuple(range(8)), remote=())
+        picks = {picker.next_lock() for _ in range(500)}
+        assert picks == set(range(8))
+
+    def test_zipfian_skews_to_first_rank(self):
+        picker = make_picker(locality=100.0, local=tuple(range(16)), remote=(),
+                             distribution="zipfian", theta=1.2)
+        counts = np.zeros(16)
+        for _ in range(4000):
+            counts[picker.next_lock()] += 1
+        assert counts[0] > counts[8] * 3
+
+    def test_zipfian_theta_zero_roughly_uniform(self):
+        picker = make_picker(locality=100.0, local=tuple(range(8)), remote=(),
+                             distribution="zipfian", theta=1e-9)
+        counts = np.zeros(8)
+        for _ in range(8000):
+            counts[picker.next_lock()] += 1
+        assert counts.min() > 0.7 * counts.max()
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = make_picker(seed=33)
+        b = make_picker(seed=33)
+        assert [a.next_lock() for _ in range(100)] == [b.next_lock() for _ in range(100)]
+
+    def test_different_seed_different_stream(self):
+        a = make_picker(seed=1)
+        b = make_picker(seed=2)
+        assert [a.next_lock() for _ in range(50)] != [b.next_lock() for _ in range(50)]

@@ -1,0 +1,135 @@
+"""Tests for the workload runner and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.workload import LatencySummary, WorkloadSpec, run_workload
+
+
+def small_spec(**over):
+    base = dict(n_nodes=2, threads_per_node=2, n_locks=4, locality_pct=100.0,
+                lock_kind="alock", ops_per_thread=10, seed=3, audit="record")
+    base.update(over)
+    return WorkloadSpec(**base)
+
+
+class TestCountMode:
+    def test_all_ops_complete(self):
+        result = run_workload(small_spec())
+        assert result.completed_ops == 40
+        assert result.measured_ops == 40
+        assert len(result.latencies_ns) == 40
+
+    def test_counters_verified_when_cs_counter(self):
+        run_workload(small_spec(cs_counter=True))  # raises on lost updates
+
+    def test_per_thread_ops_recorded(self):
+        result = run_workload(small_spec())
+        assert result.per_thread_ops == {(n, t): 10 for n in range(2) for t in range(2)}
+
+    def test_latencies_positive(self):
+        result = run_workload(small_spec())
+        assert (result.latencies_ns > 0).all()
+
+    def test_local_mask_full_locality(self):
+        result = run_workload(small_spec(locality_pct=100.0))
+        assert result.local_mask.all()
+
+    def test_mixed_locality_has_both_classes(self):
+        result = run_workload(small_spec(locality_pct=50.0, ops_per_thread=30))
+        assert result.local_mask.any()
+        assert (~result.local_mask).any()
+
+    def test_audit_clean_for_alock(self):
+        result = run_workload(small_spec(locality_pct=60.0, ops_per_thread=15))
+        assert result.atomicity_violations == 0
+
+    def test_all_lock_kinds_run(self):
+        for kind in ("alock", "spinlock", "mcs"):
+            result = run_workload(small_spec(lock_kind=kind, ops_per_thread=5))
+            assert result.completed_ops == 20
+
+    def test_cs_delay_lengthens_latency(self):
+        fast = run_workload(small_spec())
+        slow = run_workload(small_spec(cs_ns=5_000))
+        assert slow.latencies_ns.mean() > fast.latencies_ns.mean() + 4_000
+
+    def test_think_time_does_not_count_into_latency(self):
+        base = run_workload(small_spec(threads_per_node=1))
+        thinky = run_workload(small_spec(threads_per_node=1, think_ns=10_000))
+        assert thinky.latencies_ns.mean() == pytest.approx(
+            base.latencies_ns.mean(), rel=0.01)
+
+
+class TestDurationMode:
+    def test_measures_window_only(self):
+        spec = small_spec(ops_per_thread=0, warmup_ns=100_000,
+                          measure_ns=500_000)
+        result = run_workload(spec)
+        assert result.window_ns == 500_000
+        assert result.measured_ops > 0
+        assert result.throughput_ops_per_sec > 0
+
+    def test_longer_window_more_ops(self):
+        short = run_workload(small_spec(ops_per_thread=0, measure_ns=300_000))
+        long = run_workload(small_spec(ops_per_thread=0, measure_ns=1_200_000))
+        assert long.measured_ops > 2 * short.measured_ops
+
+    def test_throughput_scale_sane(self):
+        """4 threads of ~600ns local ALock ops -> order 10^6..10^7 op/s."""
+        result = run_workload(small_spec(ops_per_thread=0, measure_ns=1_000_000))
+        assert 1e5 < result.throughput_ops_per_sec < 1e8
+
+
+class TestDeterminism:
+    def test_same_spec_same_result(self):
+        a = run_workload(small_spec(locality_pct=80.0))
+        b = run_workload(small_spec(locality_pct=80.0))
+        assert a.completed_ops == b.completed_ops
+        assert np.array_equal(a.latencies_ns, b.latencies_ns)
+
+    def test_different_seed_different_timeline(self):
+        a = run_workload(small_spec(locality_pct=80.0, seed=1, ops_per_thread=20))
+        b = run_workload(small_spec(locality_pct=80.0, seed=2, ops_per_thread=20))
+        assert not np.array_equal(a.latencies_ns, b.latencies_ns)
+
+
+class TestMetrics:
+    def test_latency_summary_from_samples(self):
+        samples = np.arange(1, 1001, dtype=np.float64)
+        summary = LatencySummary.from_samples(samples)
+        assert summary.count == 1000
+        assert summary.p50 == pytest.approx(500.5)
+        assert summary.max == 1000
+
+    def test_latency_summary_empty(self):
+        summary = LatencySummary.from_samples(np.empty(0))
+        assert summary.count == 0
+        assert np.isnan(summary.mean)
+
+    def test_cdf_monotone(self):
+        result = run_workload(small_spec(ops_per_thread=20))
+        values, probs = result.latency_cdf()
+        assert (np.diff(values) >= 0).all()
+        assert (np.diff(probs) >= 0).all()
+        assert probs[-1] == pytest.approx(1.0)
+
+    def test_cdf_subsets(self):
+        result = run_workload(small_spec(locality_pct=50.0, ops_per_thread=30))
+        lv, _ = result.latency_cdf(subset="local")
+        rv, _ = result.latency_cdf(subset="remote")
+        assert len(lv) > 0 and len(rv) > 0
+        # remote ops are slower at every quantile in an uncongested run
+        assert np.median(rv) > np.median(lv)
+
+    def test_cdf_downsampling(self):
+        result = run_workload(small_spec(ops_per_thread=30))
+        values, probs = result.latency_cdf(points=10)
+        assert len(values) <= 10
+
+    def test_summary_row_fields(self):
+        result = run_workload(small_spec())
+        row = result.summary_row()
+        assert row["lock"] == "alock"
+        assert row["violations"] == 0
+        assert row["throughput_ops"] > 0

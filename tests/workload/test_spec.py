@@ -1,0 +1,66 @@
+"""Tests for WorkloadSpec validation and helpers."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.workload import WorkloadSpec
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        WorkloadSpec()
+
+    def test_bad_nodes(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(n_nodes=0)
+
+    def test_bad_threads(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(threads_per_node=0)
+
+    def test_locks_fewer_than_nodes(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(n_nodes=4, n_locks=3)
+
+    def test_locality_range(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(locality_pct=101)
+        with pytest.raises(ConfigError):
+            WorkloadSpec(locality_pct=-1)
+
+    def test_remote_access_needs_two_nodes(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(n_nodes=1, n_locks=4, locality_pct=95)
+
+    def test_one_node_full_locality_ok(self):
+        WorkloadSpec(n_nodes=1, n_locks=4, locality_pct=100)
+
+    def test_duration_mode_needs_window(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(measure_ns=0)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ConfigError):
+            WorkloadSpec(distribution="pareto")
+
+
+class TestHelpers:
+    def test_lock_options_dict_normalized(self):
+        spec = WorkloadSpec(lock_options={"remote_budget": 10, "local_budget": 2})
+        assert spec.options_dict == {"remote_budget": 10, "local_budget": 2}
+        # normalized form is hashable
+        hash(spec)
+
+    def test_with_override(self):
+        spec = WorkloadSpec(n_nodes=2, n_locks=10)
+        other = spec.with_(n_locks=20)
+        assert other.n_locks == 20
+        assert spec.n_locks == 10
+
+    def test_total_threads(self):
+        assert WorkloadSpec(n_nodes=3, threads_per_node=4, n_locks=3).total_threads == 12
+
+    def test_label_mentions_axes(self):
+        label = WorkloadSpec(n_nodes=5, threads_per_node=2, n_locks=20,
+                             locality_pct=95, lock_kind="alock").label()
+        assert "alock" in label and "n5x2" in label and "95" in label

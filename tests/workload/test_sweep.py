@@ -1,0 +1,69 @@
+"""Tests for the sweep/grid helpers."""
+
+import pytest
+
+from repro.workload import (
+    SweepResult,
+    WorkloadSpec,
+    grid,
+    p99_metric,
+    sweep,
+    throughput_metric,
+)
+
+BASE = WorkloadSpec(n_nodes=2, threads_per_node=2, n_locks=4,
+                    locality_pct=100.0, lock_kind="alock",
+                    ops_per_thread=8, audit="off")
+
+
+class TestSweep:
+    def test_one_axis(self):
+        result = sweep(BASE, "threads_per_node", [1, 2, 3])
+        assert result.axes == ("threads_per_node",)
+        assert result.column("threads_per_node") == [1, 2, 3]
+        assert all(m > 0 for m in result.column("metric"))
+
+    def test_metric_callable(self):
+        by_tput = sweep(BASE, "threads_per_node", [2], metric=throughput_metric)
+        by_p99 = sweep(BASE, "threads_per_node", [2], metric=p99_metric)
+        assert by_tput.points[0]["metric"] != by_p99.points[0]["metric"]
+
+    def test_results_attached(self):
+        result = sweep(BASE, "n_locks", [4, 8])
+        assert result.points[0]["result"].completed_ops == 32
+
+    def test_best(self):
+        result = sweep(BASE, "threads_per_node", [1, 4])
+        # count mode: same ops; throughput is higher with more threads
+        assert result.best()["threads_per_node"] == 4
+        assert result.best(maximize=False)["threads_per_node"] == 1
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        result = grid(BASE, lock_kind=["alock", "spinlock"],
+                      locality_pct=[100.0])
+        assert len(result.points) == 2
+        kinds = {p["lock_kind"] for p in result.points}
+        assert kinds == {"alock", "spinlock"}
+
+    def test_series_by(self):
+        result = grid(BASE, lock_kind=["alock", "spinlock"],
+                      threads_per_node=[1, 2])
+        series = result.series_by("lock_kind", "threads_per_node")
+        assert set(series) == {"alock", "spinlock"}
+        xs, ys = series["alock"]
+        assert xs == [1, 2]
+        assert len(ys) == 2
+
+    def test_grid_deterministic(self):
+        a = grid(BASE, threads_per_node=[1, 2])
+        b = grid(BASE, threads_per_node=[1, 2])
+        assert a.column("metric") == b.column("metric")
+
+
+class TestSweepResult:
+    def test_column_missing_key_raises(self):
+        result = SweepResult(axes=("x",), points=[{"x": 1, "metric": 2.0}])
+        with pytest.raises(KeyError):
+            result.column("nope")
