@@ -1,0 +1,88 @@
+"""Benchmarks of the fault-injection layer: throughput vs verb loss.
+
+The paper measures a failure-free cluster; these benches quantify what
+each lock gives back when the fabric misbehaves.  ALock's advantage
+should *widen* under loss — it issues fewer remote verbs per operation,
+so a fixed per-verb loss rate taxes it less — and the retransmission
+harness itself must be free when no plan is armed.
+"""
+
+from conftest import run_once
+
+from repro.faults import FaultPlan
+from repro.workload import WorkloadSpec, run_workload
+
+BASE = WorkloadSpec(n_nodes=3, threads_per_node=4, n_locks=100,
+                    locality_pct=90.0, warmup_ns=100_000,
+                    measure_ns=400_000, audit="off")
+RETRY = dict(retry_timeout_ns=25_000.0, retry_backoff=2.0, retry_limit=8)
+
+
+def test_fault_throughput_degradation(benchmark):
+    """Sweep loss rate for each lock: throughput falls with loss, retries
+    climb, and ALock degrades the least."""
+    rates = (0.0, 0.01, 0.03)
+
+    def run():
+        out = {}
+        for kind in ("alock", "spinlock", "mcs"):
+            for rate in rates:
+                plan = FaultPlan(verb_loss_rate=rate, **RETRY) if rate else None
+                res = run_workload(BASE.with_(lock_kind=kind, faults=plan))
+                out[kind, rate] = (res.throughput_ops_per_sec, res.retry_count)
+        return out
+
+    results = run_once(benchmark, run)
+    worst = rates[-1]
+    for kind in ("alock", "spinlock", "mcs"):
+        tput0, _ = results[kind, 0.0]
+        tputw, retw = results[kind, worst]
+        assert tputw < tput0, f"{kind}: loss should cost throughput"
+        assert tputw > 0.3 * tput0, f"{kind}: retries should mask the drops"
+        assert retw > 0, f"{kind}: lossy run must report retransmissions"
+    retained = {k: results[k, worst][0] / results[k, 0.0][0]
+                for k in ("alock", "spinlock", "mcs")}
+    # fewer verbs per op -> a per-verb loss rate taxes ALock least
+    assert retained["alock"] > retained["spinlock"]
+    assert retained["alock"] > retained["mcs"]
+    benchmark.extra_info.update(
+        {f"{k}_retained_pct": round(v * 100) for k, v in retained.items()})
+
+
+def test_zero_fault_plan_is_free(benchmark):
+    """An inactive FaultPlan must not perturb the simulation at all."""
+
+    def run():
+        plain = run_workload(BASE)
+        zero = run_workload(BASE.with_(faults=FaultPlan()))
+        return plain, zero
+
+    plain, zero = run_once(benchmark, run)
+    assert plain.completed_ops == zero.completed_ops
+    assert plain.measured_ops == zero.measured_ops
+    assert (plain.latencies_ns == zero.latencies_ns).all()
+    assert not zero.fault_stats
+    benchmark.extra_info["ops"] = plain.completed_ops
+
+
+def test_stall_recovery_detection(benchmark):
+    """Holder stalls + lease monitor: the run degrades, reports lease
+    expirations, and never deadlocks."""
+    plan = FaultPlan(verb_loss_rate=0.005, holder_stall_rate=0.02,
+                     holder_stall_ns=40_000.0, lease_ns=10_000.0, **RETRY)
+
+    def run():
+        healthy = run_workload(BASE)
+        stalled = run_workload(BASE.with_(faults=plan))
+        return healthy, stalled
+
+    healthy, stalled = run_once(benchmark, run)
+    assert 0 < stalled.throughput_ops_per_sec < healthy.throughput_ops_per_sec
+    assert stalled.fault_stats["injected_cs_stalls"] > 0
+    assert stalled.fault_stats["lease_expirations"] > 0
+    assert stalled.fault_stats["degraded_locks"] > 0
+    benchmark.extra_info.update({
+        "lease_expirations": stalled.fault_stats["lease_expirations"],
+        "tput_retained_pct": round(100 * stalled.throughput_ops_per_sec
+                                   / healthy.throughput_ops_per_sec),
+    })

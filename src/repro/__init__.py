@@ -28,12 +28,14 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.cluster` — nodes and thread contexts
 * :mod:`repro.locks` — ALock + spinlock and MCS baselines
 * :mod:`repro.locktable` — the evaluation application
+* :mod:`repro.faults` — fault plans, injector, retry policy
 * :mod:`repro.workload` — workload specs, runner, metrics
 * :mod:`repro.verification` — explicit-state checker for the TLA+ spec
 * :mod:`repro.experiments` — one module per paper figure/table
 """
 
 from repro.cluster import Cluster, ThreadContext
+from repro.faults import CrashWindow, FaultPlan
 from repro.locks import ALock, RdmaMcsLock, RdmaSpinlock, make_lock
 from repro.kvstore import KVConfig, ShardedKVStore
 from repro.locktable import DistributedLockTable
@@ -50,6 +52,8 @@ __all__ = [
     "RdmaMcsLock",
     "make_lock",
     "DistributedLockTable",
+    "FaultPlan",
+    "CrashWindow",
     "ShardedKVStore",
     "KVConfig",
     "WorkloadSpec",

@@ -14,6 +14,7 @@ from typing import Optional
 from repro.common.errors import ConfigError
 from repro.common.rng import RngStreams
 from repro.common.trace import TraceBuffer
+from repro.faults import FaultInjector, FaultPlan
 from repro.memory.pointer import MAX_NODES
 from repro.memory.races import RaceAuditor
 from repro.memory.region import MemoryRegion
@@ -46,25 +47,38 @@ class Cluster:
         seed: root seed for all derived RNG streams.
         audit: Table-1 race auditing mode (``"off"``/``"record"``/``"strict"``).
         trace: enable the protocol trace buffer (quickstart walkthroughs).
+        faults: optional :class:`~repro.faults.FaultPlan`; an *active*
+            plan arms the verb-path retransmission harness and the fault
+            injector (seeded from this cluster's RNG registry, so fault
+            schedules replay exactly).  ``None`` or an inactive plan
+            keeps the fault-free code path.
     """
 
     def __init__(self, n_nodes: int, *, config: Optional[RdmaConfig] = None,
                  region_bytes: int = DEFAULT_REGION_BYTES, seed: int = 0,
-                 audit: str = "record", trace: bool = False):
+                 audit: str = "record", trace: bool = False,
+                 faults: Optional[FaultPlan] = None):
         if not 1 <= n_nodes <= MAX_NODES:
             raise ConfigError(f"n_nodes must be in [1, {MAX_NODES}], got {n_nodes}")
+        if faults is not None and not isinstance(faults, FaultPlan):
+            raise ConfigError(f"faults must be a FaultPlan, got {faults!r}")
         self.env = Environment()
         self.config = config or RdmaConfig()
         self.rng = RngStreams(seed)
         self.auditor = RaceAuditor(mode=audit) if audit != "off" else RaceAuditor(mode="off")
         self.tracer = TraceBuffer(enabled=trace)
+        self.fault_plan = faults
+        self.fault_injector = (
+            FaultInjector(faults, self.rng.fork("faults"))
+            if faults is not None and faults.active else None)
         self.regions = [
             MemoryRegion(self.env, i, region_bytes, auditor=self.auditor)
             for i in range(n_nodes)
         ]
         self.network = RdmaNetwork(
             self.env, self.config, self.regions, auditor=self.auditor,
-            jitter_rng=self.rng.get("fabric-jitter"))
+            jitter_rng=self.rng.get("fabric-jitter"),
+            injector=self.fault_injector)
         self.nodes = [Node(i, self.regions[i]) for i in range(n_nodes)]
         self._contexts: dict[tuple[int, int], "ThreadContext"] = {}
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Callable, TYPE_CHECKING
 
-from repro.common.errors import MemoryError_
+from repro.common.errors import MemoryError_, VerbTimeout
 from repro.common.ids import make_global_thread_id
 from repro.memory.pointer import ptr_addr, ptr_node
 from repro.memory.region import to_signed
@@ -41,6 +41,7 @@ class ThreadContext:
         # statistics
         self.local_op_count = 0
         self.remote_op_count = 0
+        self.verb_timeouts = 0
 
     # -- locality ----------------------------------------------------------
     def is_local(self, ptr: int) -> bool:
@@ -153,32 +154,43 @@ class ThreadContext:
         raise MemoryError_("watcher woke for an unexpected address")  # pragma: no cover
 
     # -- remote (RDMA) operations ------------------------------------------
+    def _remote(self, fragment):
+        """Drive one verb fragment, attributing any retry-budget
+        exhaustion to this thread (fault layer: the typed
+        :class:`VerbTimeout` gains the actor, and the per-thread counter
+        feeds degraded-mode metrics)."""
+        self.remote_op_count += 1
+        try:
+            return (yield from fragment)
+        except VerbTimeout as exc:
+            self.verb_timeouts += 1
+            exc.actor = self.actor
+            raise
+
     def r_read(self, ptr: int, *, signed: bool = False):
         """One-sided RDMA read (loopback if ``ptr`` is local — only the
         baseline locks do that deliberately)."""
-        self.remote_op_count += 1
-        value = yield from self._net.r_read(self.node_id, self.thread_id, ptr,
-                                            signed=signed)
+        value = yield from self._remote(self._net.r_read(
+            self.node_id, self.thread_id, ptr, signed=signed))
         return value
 
     def r_write(self, ptr: int, value: int):
         """One-sided RDMA write."""
-        self.remote_op_count += 1
-        yield from self._net.r_write(self.node_id, self.thread_id, ptr, value)
+        yield from self._remote(self._net.r_write(
+            self.node_id, self.thread_id, ptr, value))
 
     def r_cas(self, ptr: int, expected: int, desired: int, *, signed: bool = False):
         """One-sided RDMA compare-and-swap; returns the previous value."""
-        self.remote_op_count += 1
-        old = yield from self._net.r_cas(self.node_id, self.thread_id, ptr,
-                                         expected, desired, signed=signed,
-                                         actor=self.actor)
+        old = yield from self._remote(self._net.r_cas(
+            self.node_id, self.thread_id, ptr, expected, desired,
+            signed=signed, actor=self.actor))
         return old
 
     def r_faa(self, ptr: int, delta: int, *, signed: bool = False):
         """One-sided RDMA fetch-and-add; returns the previous value."""
-        self.remote_op_count += 1
-        old = yield from self._net.r_faa(self.node_id, self.thread_id, ptr,
-                                         delta, signed=signed, actor=self.actor)
+        old = yield from self._remote(self._net.r_faa(
+            self.node_id, self.thread_id, ptr, delta, signed=signed,
+            actor=self.actor))
         return old
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -39,6 +39,25 @@ class ProtocolError(ReproError):
     still enqueued)."""
 
 
+class VerbTimeout(ReproError):
+    """A one-sided verb exhausted its retry budget.
+
+    Raised by the RDMA verb path when fault injection is active and every
+    (re)transmission of an op was lost — the simulated equivalent of an
+    RC queue pair's retry counter expiring with IBV_WC_RETRY_EXC_ERR.
+    Carries enough context for recovery code to decide what died.
+    """
+
+    def __init__(self, message: str, *, verb: str | None = None,
+                 target_node: int | None = None, attempts: int = 0):
+        super().__init__(message)
+        self.verb = verb
+        self.target_node = target_node
+        self.attempts = attempts
+        #: filled in by the thread context that issued the verb.
+        self.actor: str | None = None
+
+
 class AtomicityViolation(ReproError):
     """Raised (in strict mode) or recorded (in audit mode) when two
     operations race in a cell of the paper's Table 1 that RDMA does not

@@ -6,6 +6,7 @@ from typing import Callable
 
 from repro.common.errors import ConfigError
 from repro.experiments import (
+    ext_faults,
     ext_related_work,
     ext_skew,
     fig1_loopback,
@@ -25,6 +26,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig6": fig6_latency.run,
     "ext-related": ext_related_work.run,
     "ext-skew": ext_skew.run,
+    "ext-faults": ext_faults.run,
 }
 
 

@@ -1,0 +1,27 @@
+"""Fault injection & recovery.
+
+Real RDMA lock services must tolerate lost packets, latency spikes,
+crashed peers, and stalled lock holders; the failure-free simulator
+would otherwise overstate every design's robustness.  This package adds
+a deterministic fault layer:
+
+* :class:`FaultPlan` — immutable, seedable description of *what* goes
+  wrong (loss rate, spikes, crash windows, holder stalls) and the
+  requester's retry policy.
+* :class:`FaultInjector` — the runtime that draws each decision from
+  the cluster's seeded RNG registry and counts what it injected.
+* :class:`CrashWindow` — one node-unreachability interval.
+
+The verb path (:mod:`repro.rdma.network`) consumes the injector:
+lost transmissions hang in flight, a requester-side watchdog interrupts
+them (:meth:`repro.sim.core.Process.interrupt`), and the verb is
+retransmitted with exponential backoff until it lands or the retry
+budget surfaces a :class:`~repro.common.errors.VerbTimeout`.  The lock
+table (:mod:`repro.locktable`) consumes the plan's lease to detect
+stalled holders and report degraded-mode metrics.
+"""
+
+from repro.faults.injector import FaultInjector, VerbFault
+from repro.faults.plan import CrashWindow, FaultPlan
+
+__all__ = ["FaultPlan", "FaultInjector", "CrashWindow", "VerbFault"]

@@ -1,0 +1,122 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` describes *what* can go wrong in a run — verb loss,
+latency spikes, node crash windows, lock-holder stalls — plus the
+requester-side retry policy that masks the transient failures.  The plan
+is pure configuration: immutable, hashable (so it can ride on the frozen
+:class:`~repro.workload.spec.WorkloadSpec`), and free of randomness.
+All stochastic draws happen in the :class:`~repro.faults.FaultInjector`,
+which pulls from the cluster's seeded RNG registry, so a fault-enabled
+run is exactly as reproducible as a fault-free one.
+
+The failure model mirrors an RC transport: a *lost* verb is dropped on
+the request path, before the target executes it, and the requester
+retransmits after a timeout.  Ops therefore execute at most once at the
+target — retries can never double-apply an rCAS — which is what the PSN
+dedup of a real reliable connection guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """Node ``node`` is unreachable during ``[start_ns, end_ns)``.
+
+    Every verb targeting the node inside the window is dropped (the
+    requester sees timeouts and retries); the node answers again once the
+    window closes — a crash/restart cycle as seen from its peers.
+    """
+
+    node: int
+    start_ns: float
+    end_ns: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ConfigError("CrashWindow.node must be >= 0")
+        if self.start_ns < 0 or self.end_ns <= self.start_ns:
+            raise ConfigError(
+                f"CrashWindow needs 0 <= start_ns < end_ns, got "
+                f"[{self.start_ns}, {self.end_ns})")
+
+    def covers(self, now: float) -> bool:
+        return self.start_ns <= now < self.end_ns
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, deterministic fault schedule for one run.
+
+    Attributes:
+        verb_loss_rate: probability that a verb's request packet is lost
+            in flight (per transmission attempt, including retries).
+        spike_rate: probability that a verb is delayed by ``spike_ns``
+            before issue (a transient fabric/NIC latency spike).
+        spike_ns: extra latency added when a spike fires.
+        crash_windows: :class:`CrashWindow` intervals during which a
+            node drops all inbound verbs.
+        holder_stall_rate: probability that a lock holder stalls inside
+            its critical section (GC pause, scheduler preemption, ...).
+        holder_stall_ns: duration of one holder stall.
+        lease_ns: lock-table lease length; waiters that observe the same
+            holder across a full lease period report it as stalled and
+            flag the lock degraded (0 disables monitoring).
+        retry_timeout_ns: requester timeout for the first transmission;
+            a verb unacknowledged for this long is retransmitted.
+        retry_backoff: multiplier applied to the timeout after each
+            retransmission (exponential backoff).
+        retry_limit: transmission attempts before the verb surfaces a
+            :class:`~repro.common.errors.VerbTimeout` to its caller.
+    """
+
+    verb_loss_rate: float = 0.0
+    spike_rate: float = 0.0
+    spike_ns: float = 0.0
+    crash_windows: tuple[CrashWindow, ...] = ()
+    holder_stall_rate: float = 0.0
+    holder_stall_ns: float = 0.0
+    lease_ns: float = 0.0
+    retry_timeout_ns: float = 25_000.0
+    retry_backoff: float = 2.0
+    retry_limit: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("verb_loss_rate", "spike_rate", "holder_stall_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"FaultPlan.{name} must be in [0, 1], got {rate}")
+        for name in ("spike_ns", "holder_stall_ns", "lease_ns"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"FaultPlan.{name} must be >= 0")
+        if self.retry_timeout_ns <= 0:
+            raise ConfigError("FaultPlan.retry_timeout_ns must be > 0")
+        if self.retry_backoff < 1.0:
+            raise ConfigError("FaultPlan.retry_backoff must be >= 1")
+        if self.retry_limit < 1:
+            raise ConfigError("FaultPlan.retry_limit must be >= 1")
+        if self.spike_rate > 0 and self.spike_ns == 0:
+            raise ConfigError("spike_rate > 0 needs spike_ns > 0")
+        if self.holder_stall_rate > 0 and self.holder_stall_ns == 0:
+            raise ConfigError("holder_stall_rate > 0 needs holder_stall_ns > 0")
+        if not isinstance(self.crash_windows, tuple):
+            object.__setattr__(self, "crash_windows", tuple(self.crash_windows))
+
+    @property
+    def active(self) -> bool:
+        """True if any fault source is enabled.  An inactive plan makes
+        the verb path byte-identical to the fault-free code path."""
+        return bool(self.verb_loss_rate or self.spike_rate
+                    or self.crash_windows or self.holder_stall_rate
+                    or self.lease_ns)
+
+    def crashed(self, node: int, now: float) -> bool:
+        """Is ``node`` inside one of its crash windows at ``now``?"""
+        for win in self.crash_windows:
+            if win.node == node and win.covers(now):
+                return True
+        return False

@@ -104,17 +104,30 @@ class ALock(DistributedLock):
         if ctx.gid in self._sessions:
             raise ProtocolError(f"{ctx.actor} re-locking {self.name} (not reentrant)")
         if self.allow_nesting:
-            local_pool, remote_pool = descriptor_pools(ctx)
+            pools = descriptor_pools(ctx)
         else:
-            local_desc, remote_desc = descriptor_pair(ctx)
-        if ctx.is_local(self.base_ptr):
-            desc = local_pool.acquire() if self.allow_nesting else local_desc
-            yield from self._lock_local(ctx, desc)
-            cohort = "local"
-        else:
-            desc = remote_pool.acquire() if self.allow_nesting else remote_desc
-            yield from self._lock_remote(ctx, desc)
-            cohort = "remote"
+            pair = descriptor_pair(ctx)
+        slot = 0 if ctx.is_local(self.base_ptr) else 1
+        cohort = "local" if slot == 0 else "remote"
+        desc = pools[slot].acquire() if self.allow_nesting else pair[slot]
+        # begin() runs before the cleanup guard: if it raises, the
+        # descriptor is owned by another in-flight acquisition and must
+        # NOT be reset or returned to the pool here.
+        yield from desc.begin()
+        try:
+            if slot == 0:
+                yield from self._lock_local(ctx, desc)
+            else:
+                yield from self._lock_remote(ctx, desc)
+        except BaseException:
+            # Failed acquisition (e.g. a VerbTimeout from the fault
+            # layer): the descriptor must come back, or the pool leaks
+            # one record per failure and the paper's one-descriptor
+            # discipline wedges the thread permanently.
+            desc.end()
+            if self.allow_nesting:
+                pools[slot].release(desc)
+            raise
         # §5.2: atomic thread fence after locking.
         yield from ctx.fence()
         self._sessions[ctx.gid] = (cohort, desc)
@@ -154,7 +167,6 @@ class ALock(DistributedLock):
             expected = old
 
     def _lock_remote(self, ctx: "ThreadContext", desc: Descriptor):
-        yield from desc.begin()
         prev = yield from self._swap_tail_remote(ctx, desc.ptr)
         ctx.trace("mcs.swap", f"{self.name} cohort=REMOTE prev={RdmaPointer(prev)}")
         if prev == 0:
@@ -207,7 +219,6 @@ class ALock(DistributedLock):
             expected = old
 
     def _lock_local(self, ctx: "ThreadContext", desc: Descriptor):
-        yield from desc.begin()
         prev = yield from self._swap_tail_local(ctx, desc.ptr)
         ctx.trace("mcs.swap", f"{self.name} cohort=LOCAL prev={RdmaPointer(prev)}")
         if prev == 0:

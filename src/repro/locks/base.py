@@ -32,6 +32,7 @@ class DistributedLock(ABC):
         self.home_node = home_node
         self.name = name or f"{self.kind}@n{home_node}"
         self._holder_gid: int = 0
+        self._holder_since: float = 0.0
         # statistics
         self.acquisitions = 0
 
@@ -42,6 +43,7 @@ class DistributedLock(ABC):
                 f"{self.name}: {ctx.actor} acquired while gid {self._holder_gid} "
                 f"still marked as holder — mutual exclusion broken")
         self._holder_gid = ctx.gid
+        self._holder_since = self.cluster.env.now
         self.acquisitions += 1
 
     def _note_released(self, ctx: "ThreadContext") -> None:
@@ -55,6 +57,13 @@ class DistributedLock(ABC):
     def holder_gid(self) -> int:
         """gid of the current holder (0 = free) — oracle state for tests."""
         return self._holder_gid
+
+    @property
+    def holder_since(self) -> float:
+        """Sim time the current holder acquired at (oracle state; only
+        meaningful while ``holder_gid != 0``).  The lock table's lease
+        monitor uses it to tell a stalled holder from queue churn."""
+        return self._holder_since
 
     # -- the lock protocol ----------------------------------------------
     @abstractmethod

@@ -36,16 +36,31 @@ class DistributedLockTable:
             lock, which the locality-driven workload requires).
         lock_kind: registered lock type name ("alock", "spinlock", "mcs").
         lock_options: forwarded to the lock factory (e.g. budgets).
+        lease_ns: lease-based stall detection (0 = off).  When enabled,
+            :meth:`acquire` races the lock acquisition against a lease
+            timer; a waiter that watches the *same* holder sit on the
+            lock for a full lease period records a lease expiration and
+            flags the entry degraded.  Detection only — the stalled
+            holder keeps the lock (forcibly breaking an MCS queue would
+            violate the protocol) — but the run keeps making progress on
+            every other lock and reports the degradation instead of
+            looking healthy while wedged.
     """
 
     def __init__(self, cluster: "Cluster", n_locks: int, lock_kind: str,
-                 lock_options: Optional[dict] = None):
+                 lock_options: Optional[dict] = None, lease_ns: float = 0.0):
         if n_locks < cluster.n_nodes:
             raise ConfigError(
                 f"need n_locks >= n_nodes ({cluster.n_nodes}) so each node "
                 f"holds a partition; got {n_locks}")
+        if lease_ns < 0:
+            raise ConfigError(f"lease_ns must be >= 0, got {lease_ns}")
         self.cluster = cluster
         self.lock_kind = lock_kind
+        self.lease_ns = lease_ns
+        # recovery / degraded-mode metrics
+        self.lease_expirations = 0
+        self.degraded_entries: set[int] = set()
         options = dict(lock_options or {})
         self.entries: list[LockEntry] = []
         self._by_node: list[list[int]] = [[] for _ in range(cluster.n_nodes)]
@@ -73,7 +88,39 @@ class DistributedLockTable:
 
     # -- operations ----------------------------------------------------------
     def acquire(self, ctx: "ThreadContext", index: int):
-        yield from self.entries[index].lock.lock(ctx)
+        """Acquire entry ``index``'s lock; with a lease configured, also
+        watch for a stalled holder while waiting."""
+        if self.lease_ns <= 0:
+            yield from self.entries[index].lock.lock(ctx)
+            return
+        yield from self._acquire_leased(ctx, index)
+
+    def _acquire_leased(self, ctx: "ThreadContext", index: int):
+        """Race the acquisition against lease timers (recovery hook).
+
+        The acquisition runs as a child process; every ``lease_ns`` the
+        waiter wakes, consults the oracle holder state, and — if one
+        holder spanned the whole period — reports the stall.  The lock
+        protocol itself is untouched: no extra verbs, no reordering, and
+        the child resumes exactly where the plain path would.
+        """
+        env = self.cluster.env
+        entry = self.entries[index]
+        lock = entry.lock
+        waiter = env.process(lock.lock(ctx),
+                             name=f"{ctx.actor}-acquire-{index}")
+        while not waiter.triggered:
+            timer = env.timeout(self.lease_ns)
+            yield env.any_of([waiter, timer])
+            if waiter.triggered:
+                break
+            holder = lock.holder_gid
+            if holder != 0 and env.now - lock.holder_since >= self.lease_ns:
+                # One holder sat on the lock for a full lease: stalled.
+                self.lease_expirations += 1
+                self.degraded_entries.add(index)
+        if not waiter.ok:
+            raise waiter.value
 
     def release(self, ctx: "ThreadContext", index: int):
         yield from self.entries[index].lock.unlock(ctx)
@@ -110,3 +157,12 @@ class DistributedLockTable:
 
     def total_acquisitions(self) -> int:
         return sum(e.lock.acquisitions for e in self.entries)
+
+    def recovery_stats(self) -> dict:
+        """Degraded-mode metrics from the lease monitor (all zero when
+        leases are disabled)."""
+        return {
+            "lease_ns": self.lease_ns,
+            "lease_expirations": self.lease_expirations,
+            "degraded_locks": len(self.degraded_entries),
+        }

@@ -18,6 +18,21 @@ A remote RMW's read and write-back are separated by the NIC's
 Table-1 violations by concurrent local code are detected, and a local
 write landing inside the window is genuinely lost (overwritten by the
 RMW's write-back).
+
+Fault injection (:mod:`repro.faults`): when the network is built with a
+:class:`~repro.faults.FaultInjector`, each verb passes through a
+requester-side retransmission harness modeled on the RC transport.  A
+lost transmission charges the send side and then hangs in flight; a
+watchdog timer fires after the retry timeout and *interrupts* the
+in-flight attempt (:meth:`~repro.sim.core.Process.interrupt`) — cleanly,
+because NIC resources cancel abandoned admissions — then the verb is
+retransmitted with exponential backoff.  Losses happen on the *request*
+path only, before the target executes the op, so retries are
+exactly-once at the application layer (what PSN dedup guarantees on real
+hardware) and a retried rCAS can never double-apply.  When the retry
+budget is exhausted a typed :class:`~repro.common.errors.VerbTimeout`
+surfaces to the caller.  Without an injector the verbs run the original
+fault-free code path unchanged.
 """
 
 from __future__ import annotations
@@ -26,7 +41,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.common.errors import MemoryError_
+from repro.common.errors import MemoryError_, VerbTimeout
+from repro.faults.injector import FaultInjector
 from repro.memory.races import RaceAuditor
 from repro.memory.region import MemoryRegion, from_signed, to_signed
 from repro.memory.pointer import ptr_addr, ptr_node
@@ -42,13 +58,15 @@ class RdmaNetwork:
     def __init__(self, env: Environment, config: RdmaConfig,
                  regions: list[MemoryRegion],
                  auditor: Optional[RaceAuditor] = None,
-                 jitter_rng: Optional[np.random.Generator] = None):
+                 jitter_rng: Optional[np.random.Generator] = None,
+                 injector: Optional[FaultInjector] = None):
         self.env = env
         self.config = config
         self.regions = regions
         self.auditor = auditor
         self.nics = [Rnic(env, i, config.nic) for i in range(len(regions))]
         self._jitter_rng = jitter_rng
+        self.injector = injector
         # statistics
         self.verb_counts = {"rRead": 0, "rWrite": 0, "rCAS": 0, "rFAA": 0}
         self.loopback_verbs = 0
@@ -81,6 +99,50 @@ class RdmaNetwork:
             yield self.env.timeout(self._fabric_delay())
         yield from src_nic.pcie_crossing()
 
+    # -- fault/retry harness ----------------------------------------------
+    def _lost_transmission(self, qp: tuple, src_nic: Rnic, loopback: bool):
+        """One transmission whose request packet is dropped: the send
+        side is charged for real, then the op vanishes in flight.  The
+        watchdog in :meth:`_deliver` interrupts this process; the hang
+        event is never triggered."""
+        yield from src_nic.send_side(qp)
+        yield from self._transit(src_nic, loopback)
+        yield self.env.event()  # the packet is gone; nothing wakes us
+
+    def _deliver(self, verb: str, src_node: int, dst: int, qp: tuple,
+                 src_nic: Rnic, loopback: bool, attempt):
+        """Run one verb, retransmitting through the fault layer.
+
+        ``attempt`` is a zero-argument generator function performing the
+        full fault-free round trip; it is invoked at most once (losses
+        hang *instead of* executing, mirroring request-path drops).
+        """
+        inj = self.injector
+        if inj is None:
+            return (yield from attempt())
+        plan = inj.plan
+        timeout_ns = plan.retry_timeout_ns
+        for transmission in range(plan.retry_limit):
+            fault = inj.decide_verb(verb, src_node, dst, self.env.now)
+            if fault.delay_ns > 0.0:
+                yield self.env.timeout(fault.delay_ns)  # latency spike
+            if not fault.dropped:
+                return (yield from attempt())
+            # Dropped: the doomed transmission still occupies real NIC
+            # resources; the requester times out and kills it mid-flight.
+            ghost = self.env.process(
+                self._lost_transmission(qp, src_nic, loopback),
+                name=f"{verb}-lost-tx")
+            yield self.env.timeout(timeout_ns)
+            ghost.interrupt("verb-timeout")
+            inj.note_retry(verb)
+            timeout_ns *= plan.retry_backoff
+        inj.note_verb_timeout(verb)
+        raise VerbTimeout(
+            f"{verb} to node {dst} lost {plan.retry_limit} transmissions "
+            f"(retry budget exhausted)",
+            verb=verb, target_node=dst, attempts=plan.retry_limit)
+
     # -- verbs -----------------------------------------------------------
     def r_read(self, src_node: int, src_thread: int, ptr: int,
                *, signed: bool = False):
@@ -91,11 +153,17 @@ class RdmaNetwork:
             self.loopback_verbs += 1
         qp = qp_id(src_node, src_thread, dst)
         src_nic, dst_nic = self.nics[src_node], self.nics[dst]
-        yield from src_nic.send_side(qp)
-        yield from self._transit(src_nic, loopback)
-        value = yield from dst_nic.receive_side(
-            qp, execute=lambda: region.remote_read(addr))
-        yield from self._return_path(src_nic, loopback)
+
+        def attempt():
+            yield from src_nic.send_side(qp)
+            yield from self._transit(src_nic, loopback)
+            value = yield from dst_nic.receive_side(
+                qp, execute=lambda: region.remote_read(addr))
+            yield from self._return_path(src_nic, loopback)
+            return value
+
+        value = yield from self._deliver("rRead", src_node, dst, qp,
+                                         src_nic, loopback, attempt)
         return to_signed(value) if signed else value
 
     def r_write(self, src_node: int, src_thread: int, ptr: int, value: int):
@@ -106,11 +174,16 @@ class RdmaNetwork:
             self.loopback_verbs += 1
         qp = qp_id(src_node, src_thread, dst)
         src_nic, dst_nic = self.nics[src_node], self.nics[dst]
-        yield from src_nic.send_side(qp)
-        yield from self._transit(src_nic, loopback)
-        yield from dst_nic.receive_side(
-            qp, execute=lambda: region.remote_write(addr, value))
-        yield from self._return_path(src_nic, loopback)
+
+        def attempt():
+            yield from src_nic.send_side(qp)
+            yield from self._transit(src_nic, loopback)
+            yield from dst_nic.receive_side(
+                qp, execute=lambda: region.remote_write(addr, value))
+            yield from self._return_path(src_nic, loopback)
+
+        yield from self._deliver("rWrite", src_node, dst, qp,
+                                 src_nic, loopback, attempt)
 
     def _rmw(self, verb: str, src_node: int, src_thread: int, ptr: int,
              apply_fn, actor: str):
@@ -133,7 +206,7 @@ class RdmaNetwork:
                 state["new"] = apply_fn(old)
                 if auditor is not None:
                     state["win"] = auditor.remote_rmw_begin(
-                        dst, addr, "rCAS", actor, env.now,
+                        dst, addr, verb, actor, env.now,
                         env.now + dst_nic.config.atomic_window_ns)
                 return old
             # commit phase
@@ -143,10 +216,16 @@ class RdmaNetwork:
                 auditor.remote_rmw_end(dst, state["win"])
             return state["old"]
 
-        yield from src_nic.send_side(qp)
-        yield from self._transit(src_nic, loopback)
-        old = yield from dst_nic.receive_side(qp, atomic=True, execute=execute)
-        yield from self._return_path(src_nic, loopback)
+        def attempt():
+            yield from src_nic.send_side(qp)
+            yield from self._transit(src_nic, loopback)
+            old = yield from dst_nic.receive_side(qp, atomic=True,
+                                                  execute=execute)
+            yield from self._return_path(src_nic, loopback)
+            return old
+
+        old = yield from self._deliver(verb, src_node, dst, qp,
+                                       src_nic, loopback, attempt)
         return old
 
     def r_cas(self, src_node: int, src_thread: int, ptr: int,
@@ -175,8 +254,11 @@ class RdmaNetwork:
 
     # -- reporting -----------------------------------------------------
     def stats(self) -> dict:
-        return {
+        out = {
             "verbs": dict(self.verb_counts),
             "loopback_verbs": self.loopback_verbs,
             "nics": [nic.stats() for nic in self.nics],
         }
+        if self.injector is not None:
+            out["faults"] = self.injector.stats()
+        return out

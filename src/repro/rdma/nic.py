@@ -91,7 +91,9 @@ class Rnic:
         """
         self.rx_ops += 1
         penalty = self._qpc_penalty(qp)
-        yield self.rx.request()
+        # Interrupt-safe admission: a fault-layer watchdog may kill this
+        # op while it is still queued behind the RX pipeline.
+        yield from self.rx.acquire()
         try:
             yield self.env.timeout(self._rx_service_time() + penalty)
             if atomic:

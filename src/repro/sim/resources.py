@@ -74,7 +74,13 @@ class Resource:
 
     # -- protocol -------------------------------------------------------
     def request(self) -> Event:
-        """Return an event that triggers once a slot is granted."""
+        """Return an event that triggers once a slot is granted.
+
+        A waiter that gets interrupted while parked on the event MUST
+        call :meth:`cancel` with it (or use :meth:`acquire`, which does);
+        otherwise the queued grant is eventually succeeded for a dead
+        process and the slot leaks.
+        """
         ev = self.env.event()
         if self._in_use < self.capacity:
             self._account()
@@ -86,6 +92,29 @@ class Resource:
             if len(self._queue) > self.peak_queue:
                 self.peak_queue = len(self._queue)
         return ev
+
+    def cancel(self, ev: Event) -> bool:
+        """Withdraw a pending request, or give back an already-granted
+        slot the requester will never use.
+
+        Returns True if a slot had been granted (and was released here).
+        Safe to call regardless of the request's state, so interrupt
+        handlers need no bookkeeping about how far admission got:
+
+        * still queued — the grant event is removed from the queue and
+          will never be succeeded;
+        * already granted (immediately, or handed over by a
+          :meth:`release` in the same timestep the interrupt landed) —
+          the slot is released on the canceller's behalf.
+        """
+        if not ev.triggered:
+            try:
+                self._queue.remove(ev)
+            except ValueError:
+                pass  # unknown/foreign event: nothing to withdraw
+            return False
+        self.release()
+        return True
 
     def release(self) -> None:
         """Free one slot, admitting the next waiter if any."""
@@ -99,10 +128,25 @@ class Resource:
             self._account()
             self._in_use -= 1
 
+    def acquire(self):
+        """Interrupt-safe admission: ``yield from resource.acquire()``.
+
+        Equivalent to ``yield resource.request()`` except that an
+        interrupt (or any exception) delivered while waiting cancels the
+        request instead of leaking the queued grant."""
+        req = self.request()
+        try:
+            yield req
+        except BaseException:
+            self.cancel(req)
+            raise
+
     def serve(self, service_time: float):
         """Convenience process fragment: acquire, hold for ``service_time``,
-        release.  ``yield from resource.serve(t)`` inside a process."""
-        yield self.request()
+        release.  ``yield from resource.serve(t)`` inside a process.
+        Interrupt-safe in both phases: waiting cancels the request,
+        holding releases the slot."""
+        yield from self.acquire()
         try:
             yield self.env.timeout(service_time)
         finally:

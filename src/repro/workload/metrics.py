@@ -62,6 +62,21 @@ class RunResult:
     nic_stats: list[dict] = field(default_factory=list)
     verb_counts: dict = field(default_factory=dict)
     loopback_verbs: int = 0
+    #: fault-layer counters (injector + lock-table recovery + client
+    #: outcomes); empty when the run had no active FaultPlan.
+    fault_stats: dict = field(default_factory=dict)
+
+    @property
+    def retry_count(self) -> int:
+        """Verb retransmissions the fault layer performed (0 = fault-free)."""
+        return int(self.fault_stats.get("retries", 0))
+
+    @property
+    def recovery_count(self) -> int:
+        """Recovery events: lease expirations observed by waiters plus
+        verbs that exhausted their retry budget."""
+        return int(self.fault_stats.get("lease_expirations", 0)
+                   + self.fault_stats.get("verb_timeouts", 0))
 
     @property
     def throughput_ops_per_sec(self) -> float:
@@ -108,7 +123,7 @@ class RunResult:
     def summary_row(self) -> dict:
         """Flat dict for tabular experiment reports."""
         lat = self.latency
-        return {
+        row = {
             "lock": self.spec.lock_kind,
             "nodes": self.spec.n_nodes,
             "threads_per_node": self.spec.threads_per_node,
@@ -121,3 +136,7 @@ class RunResult:
             "loopback_verbs": self.loopback_verbs,
             "violations": self.atomicity_violations,
         }
+        if self.fault_stats:
+            row["retries"] = self.retry_count
+            row["recoveries"] = self.recovery_count
+        return row

@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.cluster import Cluster
-from repro.common.errors import SimulationError
+from repro.common.errors import SimulationError, VerbTimeout
 from repro.locktable import DistributedLockTable
 from repro.workload.generator import LockPicker
 from repro.workload.metrics import RunResult
@@ -25,10 +25,13 @@ from repro.workload.spec import WorkloadSpec
 def build_cluster(spec: WorkloadSpec, **cluster_kwargs) -> tuple[Cluster, DistributedLockTable]:
     """Construct the cluster + lock table for a spec (exposed for tests
     and custom harnesses)."""
+    cluster_kwargs.setdefault("faults", spec.faults)
     cluster = Cluster(spec.n_nodes, seed=spec.seed, audit=spec.audit,
                       **cluster_kwargs)
+    lease_ns = spec.faults.lease_ns if spec.faults is not None else 0.0
     table = DistributedLockTable(cluster, spec.n_locks, spec.lock_kind,
-                                 lock_options=spec.options_dict)
+                                 lock_options=spec.options_dict,
+                                 lease_ns=lease_ns)
     return cluster, table
 
 
@@ -43,7 +46,9 @@ def run_workload(spec: WorkloadSpec, **cluster_kwargs) -> RunResult:
     latencies: list[float] = []
     local_flags: list[bool] = []
     per_thread_ops: dict[tuple[int, int], int] = {}
-    completed = {"ops": 0, "cs_increments": 0}
+    completed = {"ops": 0, "cs_increments": 0, "aborted_clients": 0,
+                 "injected_cs_stalls": 0}
+    injector = cluster.fault_injector
 
     def client(node: int, thread: int):
         ctx = cluster.thread_ctx(node, thread)
@@ -57,13 +62,28 @@ def run_workload(spec: WorkloadSpec, **cluster_kwargs) -> RunResult:
             entry = table.entry(idx)
             is_local = entry.home_node == node
             start = env.now
-            yield from entry.lock.lock(ctx)
-            if spec.cs_counter:
-                yield from table.guarded_increment(ctx, idx)
-                completed["cs_increments"] += 1
-            if spec.cs_ns > 0:
-                yield env.timeout(spec.cs_ns)
-            yield from entry.lock.unlock(ctx)
+            try:
+                yield from table.acquire(ctx, idx)
+                if injector is not None:
+                    # Fault layer: the holder stalls inside its CS (GC
+                    # pause, preemption) — what the lease monitor catches.
+                    stall_ns = injector.holder_stall(node, thread)
+                    if stall_ns > 0:
+                        completed["injected_cs_stalls"] += 1
+                        yield env.timeout(stall_ns)
+                if spec.cs_counter:
+                    yield from table.guarded_increment(ctx, idx)
+                    completed["cs_increments"] += 1
+                if spec.cs_ns > 0:
+                    yield env.timeout(spec.cs_ns)
+                yield from table.release(ctx, idx)
+            except VerbTimeout:
+                # The lock's home partition stayed unreachable past the
+                # retry budget (e.g. a long crash window): this client
+                # cannot safely continue against that queue.  Record the
+                # abort and retire; every other client keeps running.
+                completed["aborted_clients"] += 1
+                break
             end = env.now
             ops_done += 1
             completed["ops"] += 1
@@ -110,6 +130,13 @@ def run_workload(spec: WorkloadSpec, **cluster_kwargs) -> RunResult:
     if spec.audit != "off":
         cluster.auditor.assert_clean()
 
+    fault_stats: dict = {}
+    if injector is not None:
+        fault_stats = injector.stats()
+        fault_stats.update(table.recovery_stats())
+        fault_stats["aborted_clients"] = completed["aborted_clients"]
+        fault_stats["injected_cs_stalls"] = completed["injected_cs_stalls"]
+
     net_stats = cluster.network.stats()
     return RunResult(
         spec=spec,
@@ -123,4 +150,5 @@ def run_workload(spec: WorkloadSpec, **cluster_kwargs) -> RunResult:
         nic_stats=net_stats["nics"],
         verb_counts=net_stats["verbs"],
         loopback_verbs=net_stats["loopback_verbs"],
+        fault_stats=fault_stats,
     )

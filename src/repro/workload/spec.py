@@ -3,8 +3,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
 
 from repro.common.errors import ConfigError
+from repro.faults import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -38,6 +40,16 @@ class WorkloadSpec:
         seed: root seed; everything derives from it deterministically.
         audit: Table-1 auditing mode; "off" removes the bookkeeping cost
             from big benchmark runs.
+
+    Fault injection:
+
+    Attributes:
+        faults: optional :class:`~repro.faults.FaultPlan`.  An active
+            plan arms verb loss/spike/crash injection with retransmission
+            in the RDMA plane, holder-stall injection in the clients, and
+            (via ``faults.lease_ns``) lease-based stall detection in the
+            lock table.  ``None`` — and any plan with every knob at
+            zero — runs the exact fault-free code path.
     """
 
     n_nodes: int = 2
@@ -56,8 +68,12 @@ class WorkloadSpec:
     zipf_theta: float = 0.99
     seed: int = 0
     audit: str = "off"
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
+        if self.faults is not None and not isinstance(self.faults, FaultPlan):
+            raise ConfigError(
+                f"faults must be a FaultPlan or None, got {self.faults!r}")
         if self.n_nodes < 1:
             raise ConfigError("n_nodes must be >= 1")
         if self.threads_per_node < 1:

@@ -16,7 +16,7 @@ class TestRegistry:
         assert {"table1", "fig1", "fig4", "fig5", "fig6"} <= set(EXPERIMENTS)
 
     def test_extensions_registered(self):
-        assert {"ext-related", "ext-skew"} <= set(EXPERIMENTS)
+        assert {"ext-related", "ext-skew", "ext-faults"} <= set(EXPERIMENTS)
 
     def test_unknown_experiment(self):
         with pytest.raises(ConfigError):

@@ -1,0 +1,99 @@
+"""Regression tests: failed acquisitions must return ALock descriptors.
+
+Under fault injection a remote acquisition can die mid-protocol with
+:class:`VerbTimeout`.  Before the fix, ``ALock.lock`` never released the
+pooled descriptor on that path, so under ``allow_nesting`` every failure
+allocated a fresh descriptor (unbounded growth) and without nesting the
+pair descriptor stayed marked in-use, turning the *next* attempt into a
+spurious :class:`ProtocolError`.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.common.errors import VerbTimeout
+from repro.faults import CrashWindow, FaultPlan
+from repro.locks import ALock
+from repro.locks.alock.descriptors import descriptor_pair, descriptor_pools
+
+#: Every verb drops and the retry budget is tiny: each remote
+#: acquisition fails fast with VerbTimeout.
+DEAD_FABRIC = FaultPlan(verb_loss_rate=1.0, retry_timeout_ns=5_000.0,
+                        retry_backoff=1.0, retry_limit=2)
+
+
+class TestDescriptorLeakOnFailure:
+    def test_nesting_pool_does_not_grow_across_failures(self):
+        cluster = Cluster(2, seed=7, faults=DEAD_FABRIC, audit="off")
+        lock = ALock(cluster, 1, allow_nesting=True)
+        ctx = cluster.thread_ctx(0, 0)
+        failures = 0
+
+        def proc():
+            nonlocal failures
+            for _ in range(4):
+                try:
+                    yield from lock.lock(ctx)
+                except VerbTimeout:
+                    failures += 1
+
+        p = cluster.env.process(proc())
+        cluster.run()
+        assert p.ok, p.value
+        assert failures == 4
+        _, remote_pool = descriptor_pools(ctx)
+        # regression: the pool grew by one descriptor per failure
+        assert remote_pool.allocated == 1
+
+    def test_pair_descriptor_reusable_after_failure(self):
+        """Without nesting, a failed attempt must not leave the pair
+        descriptor in-use — the retry would die with ProtocolError
+        instead of reaching the network again."""
+        cluster = Cluster(2, seed=7, faults=DEAD_FABRIC, audit="off")
+        lock = ALock(cluster, 1)
+        ctx = cluster.thread_ctx(0, 0)
+        outcomes = []
+
+        def proc():
+            for _ in range(3):
+                try:
+                    yield from lock.lock(ctx)
+                    outcomes.append("acquired")
+                except VerbTimeout:
+                    outcomes.append("timeout")
+
+        p = cluster.env.process(proc())
+        cluster.run()
+        assert p.ok, p.value
+        assert outcomes == ["timeout"] * 3
+        local_desc, remote_desc = descriptor_pair(ctx)
+        assert not remote_desc.in_use
+        assert not local_desc.in_use
+
+    def test_acquisition_succeeds_after_crash_window_ends(self):
+        """End-to-end recovery: attempts during a crash window fail with
+        VerbTimeout, and once the node restarts the *same* descriptor
+        carries a successful acquisition."""
+        plan = FaultPlan(crash_windows=(CrashWindow(1, 0.0, 50_000.0),),
+                         retry_timeout_ns=5_000.0, retry_backoff=1.0,
+                         retry_limit=2)
+        cluster = Cluster(2, seed=7, faults=plan, audit="off")
+        lock = ALock(cluster, 1)
+        ctx = cluster.thread_ctx(0, 0)
+        env = cluster.env
+        log = []
+
+        def proc():
+            with pytest.raises(VerbTimeout):
+                yield from lock.lock(ctx)
+            log.append("crashed")
+            yield env.timeout(60_000.0 - env.now)   # node 1 restarts
+            yield from lock.lock(ctx)
+            log.append(("acquired", lock.holder_gid == ctx.gid))
+            yield from lock.unlock(ctx)
+
+        p = env.process(proc())
+        cluster.run()
+        assert p.ok, p.value
+        assert log == ["crashed", ("acquired", True)]
+        assert cluster.fault_injector.crash_drops > 0

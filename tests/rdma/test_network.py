@@ -323,6 +323,30 @@ class TestTable1NonAtomicity:
         assert auditor.violation_count == 0
 
 
+class TestAuditAttribution:
+    def test_rmw_verbs_report_their_own_label(self):
+        """Regression: rFAA atomic windows were registered with the
+        auditor as "rCAS", mislabelling Table-1 violation reports."""
+        seen = []
+
+        class SpyAuditor(RaceAuditor):
+            def remote_rmw_begin(self, node, addr, op, actor, start, end):
+                seen.append(op)
+                return super().remote_rmw_begin(
+                    node, addr, op, actor, start, end)
+
+        auditor = SpyAuditor(mode="record")
+        env, net, _ = make_net(n_nodes=2, auditor=auditor)
+        ptr = pack_ptr(1, 64)
+
+        def proc():
+            yield from net.r_cas(0, 0, ptr, 0, 1)
+            yield from net.r_faa(0, 0, ptr, 1)
+
+        run_verb(env, proc())
+        assert seen == ["rCAS", "rFAA"]
+
+
 class TestDeterminism:
     def test_same_seed_same_timeline(self):
         def run_once():

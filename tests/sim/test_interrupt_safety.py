@@ -1,0 +1,157 @@
+"""Interrupt-safety of resource admission.
+
+Regression suite for the slot-leak the fault layer exposed: a process
+interrupted while waiting in ``Resource.request`` left its request event
+in the queue (or, worse, kept a granted slot), so capacity drained away
+with every verb timeout until the NIC pipeline wedged.
+"""
+
+import pytest
+
+from repro.sim import Environment, Interrupt, Resource
+
+
+@pytest.fixture()
+def env():
+    return Environment()
+
+
+class TestCancel:
+    def test_cancel_queued_request_removes_it(self, env):
+        res = Resource(env, capacity=1)
+        holder = res.request()          # granted immediately
+        assert holder.triggered
+        waiting = res.request()
+        assert not waiting.triggered
+        assert res.cancel(waiting) is False
+        assert res.queue_length == 0
+        # the slot was never ours, so nothing was released
+        assert res.in_use == 1
+
+    def test_cancel_granted_request_releases_slot(self, env):
+        res = Resource(env, capacity=1)
+        req = res.request()
+        assert req.triggered
+        assert res.cancel(req) is True
+        assert res.in_use == 0
+
+    def test_interrupted_waiter_does_not_leak_slot(self, env):
+        """A waiter interrupted mid-request must leave capacity intact
+        for everyone behind it."""
+        res = Resource(env, capacity=1)
+        order = []
+
+        def holder():
+            yield from res.acquire()
+            yield env.timeout(100)
+            res.release()
+
+        def doomed():
+            try:
+                yield from res.acquire()
+            except Interrupt:
+                order.append(("interrupted", env.now))
+                return
+            res.release()  # pragma: no cover - must not get the slot
+
+        def patient():
+            yield from res.acquire()
+            order.append(("granted", env.now))
+            res.release()
+
+        env.process(holder())
+        victim = env.process(doomed())
+
+        def assassin():
+            yield env.timeout(50)
+            victim.interrupt("stop waiting")
+
+        env.process(assassin())
+        env.process(patient())
+        env.run()
+        assert order == [("interrupted", 50), ("granted", 100)]
+        assert res.in_use == 0
+        assert res.queue_length == 0
+
+    def test_interrupt_racing_same_timestep_grant(self, env):
+        """The nasty case: release() hands the slot to the waiter and the
+        interrupt lands in the same timestep, before the waiter resumes.
+        The waiter's cleanup must give the already-granted slot back."""
+        res = Resource(env, capacity=1)
+
+        def holder():
+            yield from res.acquire()
+            yield env.timeout(50)
+            res.release()               # grant hands off to victim at t=50
+
+        def doomed():
+            try:
+                yield from res.acquire()
+            except Interrupt:
+                return
+            res.release()  # pragma: no cover
+
+        env.process(holder())
+        victim = env.process(doomed())
+
+        def assassin():
+            yield env.timeout(50)       # same timestep as the handoff
+            victim.interrupt("too late")
+
+        env.process(assassin())
+        env.run()
+        assert res.in_use == 0
+        assert res.queue_length == 0
+
+    def test_serve_releases_only_when_granted(self, env):
+        """serve() interrupted during its service phase releases the slot;
+        interrupted during admission it must NOT release someone else's."""
+        res = Resource(env, capacity=1)
+
+        def served():
+            try:
+                yield from res.serve(100)
+            except Interrupt:
+                pass
+
+        p = env.process(served())
+
+        def interrupt_mid_service():
+            yield env.timeout(40)       # inside the service timeout
+            p.interrupt("abort")
+
+        env.process(interrupt_mid_service())
+        env.run()
+        assert res.in_use == 0
+        assert res.total_served == 1
+
+
+class TestInterruptedVerbPipeline:
+    def test_nic_pipeline_survives_interrupted_receives(self, env):
+        """Drive many interrupted waits through one capacity-1 resource
+        (the NIC RX model): capacity must never drift."""
+        res = Resource(env, capacity=1)
+        completed = []
+
+        def worker(i):
+            try:
+                yield from res.serve(10)
+            except Interrupt:
+                return
+            completed.append(i)
+
+        procs = [env.process(worker(i)) for i in range(10)]
+
+        def chaos():
+            # kill every odd worker while it queues or serves
+            for i in range(1, 10, 2):
+                yield env.timeout(7)
+                if procs[i].is_alive:
+                    procs[i].interrupt("drop")
+
+        env.process(chaos())
+        env.run()
+        assert res.in_use == 0
+        assert res.queue_length == 0
+        # the survivors all got through
+        assert completed and all(i % 2 == 0 for i in completed)
