@@ -14,18 +14,54 @@ import hashlib
 
 import numpy as np
 
+from repro.common.errors import ConfigError
+
+#: key-part types whose ``repr`` is stable across processes and Python
+#: versions.  Anything else (objects, lists, dicts, numpy arrays) may
+#: embed memory addresses or version-dependent formatting in its repr,
+#: which would silently break cross-process seed stability.
+_PRIMITIVE_TYPES = (bool, int, float, str, bytes, type(None))
+
+
+def _normalize_part(part: object, *, _path: str = "key part") -> object:
+    """Validate one seed-key part, returning a canonical primitive form.
+
+    numpy scalars are converted to their Python equivalents first: their
+    reprs changed between numpy 1.x (``3``) and 2.x (``np.int64(3)``),
+    so hashing them raw would tie seeds to the numpy version.
+    """
+    if isinstance(part, np.integer):
+        part = int(part)
+    elif isinstance(part, np.floating):
+        part = float(part)
+    elif isinstance(part, np.str_):
+        part = str(part)
+    if isinstance(part, tuple):
+        return tuple(_normalize_part(p, _path=f"{_path}[{i}]")
+                     for i, p in enumerate(part))
+    if isinstance(part, _PRIMITIVE_TYPES):
+        return part
+    raise ConfigError(
+        f"derive_seed {_path} has non-primitive type "
+        f"{type(part).__name__!r}: repr() of arbitrary objects can embed "
+        f"memory addresses, breaking cross-process seed stability; use "
+        f"ints, strs, bytes, floats, bools, None, or tuples of those")
+
 
 def derive_seed(root_seed: int, *key: object) -> int:
     """Derive a 64-bit child seed from ``root_seed`` and a structured key.
 
     Uses BLAKE2b over the repr of the key parts; stable across processes
-    and Python versions (unlike ``hash()``).
+    and Python versions (unlike ``hash()``).  Key parts are restricted to
+    primitives (int/str/bytes/float/bool/None, numpy scalars, and tuples
+    of those) — :class:`~repro.common.errors.ConfigError` is raised for
+    anything whose repr is not process-independent.
     """
     h = hashlib.blake2b(digest_size=8)
     h.update(str(int(root_seed)).encode())
-    for part in key:
+    for i, part in enumerate(key):
         h.update(b"\x1f")
-        h.update(repr(part).encode())
+        h.update(repr(_normalize_part(part, _path=f"key part {i}")).encode())
     return int.from_bytes(h.digest(), "little")
 
 

@@ -1,0 +1,86 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline lets the gate turn on *today* while legacy findings are paid
+down over time: findings recorded in the baseline are subtracted from a
+run, anything new fails it.  Entries are keyed ``(file, rule, message)``
+— deliberately line-insensitive, so edits elsewhere in a file do not
+un-match a grandfathered finding — with a count per key so *additional*
+occurrences of an already-baselined hazard still fail.
+
+The file is JSON with sorted entries; regenerating it from an unchanged
+tree is a no-op diff (``python -m repro.lint --write-baseline``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.lint.findings import Finding
+
+_VERSION = 1
+
+Key = tuple[str, str, str]  # (file, rule, message)
+
+
+@dataclass
+class Baseline:
+    """Multiset of grandfathered finding keys."""
+
+    entries: Counter = field(default_factory=Counter)
+
+    # -- construction ------------------------------------------------------
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: Counter = Counter()
+        for f in findings:
+            counts[f.baseline_key] += 1
+        return cls(counts)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if data.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported simlint baseline version {data.get('version')!r} "
+                f"in {path} (expected {_VERSION})")
+        counts: Counter = Counter()
+        for entry in data.get("entries", []):
+            key: Key = (entry["file"], entry["rule"], entry["message"])
+            counts[key] += int(entry.get("count", 1))
+        return cls(counts)
+
+    # -- persistence -------------------------------------------------------
+    def save(self, path: Path) -> None:
+        entries = [
+            {"file": file, "rule": rule, "message": message, "count": count}
+            for (file, rule, message), count in sorted(self.entries.items())
+            if count > 0
+        ]
+        payload = {"version": _VERSION, "entries": entries}
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")
+
+    # -- application -------------------------------------------------------
+    def split(self, findings: Iterable[Finding]
+              ) -> tuple[list[Finding], list[Finding]]:
+        """Partition ``findings`` into (new, grandfathered).  Each
+        baseline entry absorbs at most ``count`` findings; processing
+        order is the findings' canonical sort order, so the split is
+        deterministic."""
+        budget = Counter(self.entries)
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for f in sorted(findings):
+            if budget[f.baseline_key] > 0:
+                budget[f.baseline_key] -= 1
+                old.append(f)
+            else:
+                new.append(f)
+        return new, old
+
+    def __len__(self) -> int:
+        return sum(self.entries.values())

@@ -1,0 +1,147 @@
+"""``python -m repro.lint`` — the simlint command line.
+
+Exit status: 0 when the tree is clean (after suppressions and baseline),
+1 when findings remain, 2 on usage errors (argparse's convention).
+
+Configuration is read from ``[tool.simlint]`` in the nearest
+``pyproject.toml`` at or above ``--root`` (default: the current
+directory); command-line arguments override it.  Recognised keys::
+
+    [tool.simlint]
+    paths = ["src", "tests", "benchmarks"]
+    exclude = ["tests/lint/fixtures"]
+    baseline = "simlint-baseline.json"
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tomllib
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import run_lint
+from repro.lint.rules import default_rules
+
+
+def _load_config(root: Path) -> dict:
+    cur = root.resolve()
+    while True:
+        candidate = cur / "pyproject.toml"
+        if candidate.is_file():
+            try:
+                data = tomllib.loads(candidate.read_text(encoding="utf-8"))
+            except tomllib.TOMLDecodeError:
+                return {}
+            return data.get("tool", {}).get("simlint", {})
+        if cur.parent == cur:
+            return {}
+        cur = cur.parent
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="simlint: determinism & simulation-safety analyzer")
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to lint (default: "
+                             "[tool.simlint] paths, else 'src')")
+    parser.add_argument("--root", default=".",
+                        help="directory paths and reports are relative to")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON of grandfathered findings "
+                             "(default: [tool.simlint] baseline, if the "
+                             "file exists)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any configured baseline")
+    parser.add_argument("--strict", action="store_true",
+                        help="ignore the baseline and flag unused "
+                             "suppression comments")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the report as JSON on stdout")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="write current findings to the baseline file "
+                             "and exit 0")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list rule ids and exit")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    all_rules = default_rules()
+
+    if args.list_rules:
+        for rule in all_rules:
+            print(f"{rule.rule_id}: {rule.description}")
+        return 0
+
+    root = Path(args.root).resolve()
+    config = _load_config(root)
+
+    rules = all_rules
+    if args.rules:
+        wanted = [r.strip() for r in args.rules.split(",") if r.strip()]
+        known = {rule.rule_id for rule in all_rules}
+        unknown = [w for w in wanted if w not in known]
+        if unknown:
+            print(f"unknown rule id(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        rules = tuple(r for r in all_rules if r.rule_id in wanted)
+
+    paths = list(args.paths) or list(config.get("paths", [])) or ["src"]
+    exclude = list(config.get("exclude", []))
+
+    baseline_path: Optional[Path] = None
+    if not args.no_baseline:
+        if args.baseline:
+            baseline_path = root / args.baseline
+        elif config.get("baseline"):
+            candidate = root / str(config["baseline"])
+            if candidate.is_file() or args.write_baseline:
+                baseline_path = candidate
+
+    if args.write_baseline:
+        if baseline_path is None:
+            print("--write-baseline needs --baseline or a [tool.simlint] "
+                  "baseline setting", file=sys.stderr)
+            return 2
+        report = run_lint(paths, root=root, rules=rules, exclude=exclude)
+        Baseline.from_findings(report.findings).save(baseline_path)
+        print(f"wrote {len(report.findings)} finding(s) to {baseline_path}")
+        return 0
+
+    baseline = None
+    if baseline_path is not None and baseline_path.is_file():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"bad baseline file {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+
+    report = run_lint(paths, root=root, rules=rules, baseline=baseline,
+                      strict=args.strict, exclude=exclude)
+
+    if args.as_json:
+        print(json.dumps(report.to_json(), indent=2))
+    else:
+        for finding in report.findings:
+            print(finding.render())
+        summary = (f"simlint: {len(report.findings)} finding(s) in "
+                   f"{report.files_scanned} file(s)")
+        if report.suppressed:
+            summary += f", {len(report.suppressed)} suppressed"
+        if report.baselined:
+            summary += f", {len(report.baselined)} baselined"
+        print(summary)
+    return 0 if report.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

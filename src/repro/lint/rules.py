@@ -1,0 +1,557 @@
+"""simlint's rule framework and the built-in rule set.
+
+Each rule encodes one invariant the reproduction's validity rests on
+(see ``docs/architecture.md`` § Static analysis):
+
+``nondet-source``
+    Simulation code must draw every stochastic or time-like value from
+    :class:`repro.common.rng.RngStreams` / ``env.now`` — wall clocks,
+    the ``random`` module, un-seeded numpy generators, ``uuid``/
+    ``os.urandom``, and address-dependent ``id()``/``hash()`` all break
+    bit-identical replay.
+
+``unordered-iter``
+    Iterating a ``set``/``frozenset`` in an event-ordering-sensitive
+    package makes event order depend on ``PYTHONHASHSEED``.
+
+``resource-guard``
+    ``Resource.acquire()``/``request()``-style admissions must be
+    paired with ``release()``/``cancel()`` in a ``finally`` or
+    ``except`` — the PR 1 slot-leak class.
+
+``region-bypass``
+    Writes to :class:`repro.memory.region.MemoryRegion` storage must go
+    through the audited accessors; ``_store``/``_words`` and the NIC
+    landing API are off-limits outside the memory/verbs layers.
+
+``frozen-setattr``
+    ``object.__setattr__`` on frozen dataclasses is only legitimate
+    inside ``__post_init__``/``__setstate__``.
+
+Rules are pure functions of a :class:`~repro.lint.source.SourceFile`;
+they never import or execute the code under analysis.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.lint.findings import ERROR, WARNING, Finding
+from repro.lint.source import SourceFile, ancestors, parent_of
+
+#: Packages forming the simulation core: everything here must be
+#: deterministic given (spec, seed).
+DEFAULT_SIM_PACKAGES: tuple[str, ...] = ("repro",)
+
+#: Packages where *iteration order* feeds the event timeline or
+#: user-visible output (counterexamples, traces, schedules).
+DEFAULT_SENSITIVE_PACKAGES: tuple[str, ...] = (
+    "repro.sim",
+    "repro.rdma",
+    "repro.locks",
+    "repro.locktable",
+    "repro.workload",
+    "repro.memory",
+    "repro.verification",
+)
+
+
+# --------------------------------------------------------------------------
+# shared AST helpers
+# --------------------------------------------------------------------------
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _subtree_contains(stmts: Sequence[ast.AST], target: ast.AST) -> bool:
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if node is target:
+                return True
+    return False
+
+
+def _block_fields(node: ast.AST) -> Iterator[list[ast.stmt]]:
+    for name in ("body", "orelse", "finalbody"):
+        block = getattr(node, name, None)
+        if isinstance(block, list):
+            yield block
+    for handler in getattr(node, "handlers", []) or []:
+        yield handler.body
+
+
+def enclosing_function(node: ast.AST) -> Optional[ast.AST]:
+    for anc in ancestors(node):
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return anc
+    return None
+
+
+# --------------------------------------------------------------------------
+# rule base
+# --------------------------------------------------------------------------
+
+class Rule:
+    """Base class: subclasses set :attr:`rule_id` and implement
+    :meth:`check`, yielding findings in source order (the engine re-sorts
+    globally, so order here only needs to be deterministic)."""
+
+    rule_id: str = ""
+    description: str = ""
+    default_severity: str = ERROR
+
+    def check(self, sf: SourceFile) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, sf: SourceFile, node: ast.AST, message: str,
+                severity: Optional[str] = None) -> Finding:
+        return Finding(
+            file=sf.display,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.rule_id,
+            severity=severity or self.default_severity,
+            message=message,
+        )
+
+
+# --------------------------------------------------------------------------
+# rule 1: forbidden nondeterminism sources
+# --------------------------------------------------------------------------
+
+_WALLCLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.clock_gettime",
+})
+
+#: last-two path segments of banned datetime constructors.
+_DATETIME_TAILS = frozenset({
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"),
+})
+
+_ENTROPY_CALLS = frozenset({
+    "uuid.uuid1", "uuid.uuid4", "os.urandom", "os.getrandom",
+})
+
+_NUMPY_ALIASES = frozenset({"np", "numpy"})
+
+
+class NondetSourceRule(Rule):
+    """Nondeterminism sources outside :class:`RngStreams` in sim code."""
+
+    rule_id = "nondet-source"
+    description = ("simulation code must derive randomness from RngStreams "
+                   "and time from env.now — never the wall clock, the "
+                   "global random module, or process addresses")
+
+    def __init__(self, sim_packages: Iterable[str] = DEFAULT_SIM_PACKAGES):
+        self.sim_packages = tuple(sim_packages)
+
+    def check(self, sf: SourceFile) -> Iterator[Finding]:
+        if not sf.in_package(*self.sim_packages):
+            return
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            sf, node,
+                            "import of the global 'random' module; draw from "
+                            "RngStreams (repro.common.rng) instead")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield self.finding(
+                        sf, node,
+                        "import from the global 'random' module; draw from "
+                        "RngStreams (repro.common.rng) instead")
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(sf, node)
+
+    def _check_call(self, sf: SourceFile, node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("id", "hash"):
+            yield self.finding(
+                sf, node,
+                f"'{func.id}()' depends on process memory layout or "
+                f"PYTHONHASHSEED; not reproducible across runs",
+                severity=WARNING)
+            return
+        name = dotted_name(func)
+        if name is None:
+            return
+        parts = name.split(".")
+        if parts[0] == "random":
+            yield self.finding(
+                sf, node,
+                f"'{name}()' uses the global random module; draw from an "
+                f"RngStreams stream instead")
+        elif parts[0] == "secrets":
+            yield self.finding(
+                sf, node, f"'{name}()' draws OS entropy; not reproducible")
+        elif name in _WALLCLOCK_CALLS:
+            yield self.finding(
+                sf, node,
+                f"'{name}()' reads the wall clock; simulation time is "
+                f"env.now")
+        elif name in _ENTROPY_CALLS:
+            yield self.finding(
+                sf, node, f"'{name}()' draws OS entropy; not reproducible")
+        elif len(parts) >= 2 and tuple(parts[-2:]) in _DATETIME_TAILS:
+            yield self.finding(
+                sf, node,
+                f"'{name}()' reads the wall clock; simulation time is "
+                f"env.now")
+        elif parts[-1] == "default_rng" and len(parts) >= 2 \
+                and parts[-2] == "random":
+            if not node.args or (isinstance(node.args[0], ast.Constant)
+                                 and node.args[0].value is None):
+                yield self.finding(
+                    sf, node,
+                    "un-seeded np.random.default_rng(); seed it via "
+                    "derive_seed/RngStreams")
+        elif (len(parts) == 3 and parts[0] in _NUMPY_ALIASES
+              and parts[1] == "random" and parts[2] != "default_rng"
+              and parts[2] not in ("Generator", "SeedSequence")):
+            yield self.finding(
+                sf, node,
+                f"'{name}()' uses numpy's global RNG state; use a "
+                f"Generator from RngStreams")
+
+
+# --------------------------------------------------------------------------
+# rule 2: iteration over unordered collections
+# --------------------------------------------------------------------------
+
+_SET_ANNOTATION_TAILS = frozenset({
+    "set", "frozenset", "Set", "FrozenSet", "MutableSet", "AbstractSet",
+})
+
+#: builtins that materialise their argument's iteration order.
+_ORDER_MATERIALISERS = frozenset({"list", "tuple", "deque", "enumerate", "iter"})
+
+
+def _annotation_is_set(ann: Optional[ast.AST]) -> bool:
+    if ann is None:
+        return False
+    if isinstance(ann, ast.Subscript):
+        ann = ann.value
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        # string annotation: match on its head, e.g. "set[int]"
+        head = ann.value.split("[", 1)[0].strip()
+        return head.split(".")[-1] in _SET_ANNOTATION_TAILS
+    name = dotted_name(ann)
+    return name is not None and name.split(".")[-1] in _SET_ANNOTATION_TAILS
+
+
+def _value_is_set_constructor(value: Optional[ast.AST]) -> bool:
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        return dotted_name(value.func) in ("set", "frozenset")
+    return False
+
+
+def _target_key(target: ast.AST) -> Optional[str]:
+    if isinstance(target, ast.Name):
+        return target.id
+    if (isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"):
+        return "self." + target.attr
+    return None
+
+
+class UnorderedIterRule(Rule):
+    """Set iteration in event-ordering-sensitive packages."""
+
+    rule_id = "unordered-iter"
+    description = ("iterating a set in an ordering-sensitive module makes "
+                   "event order depend on PYTHONHASHSEED; sort it or use "
+                   "an insertion-ordered container")
+
+    def __init__(self,
+                 sensitive_packages: Iterable[str] = DEFAULT_SENSITIVE_PACKAGES):
+        self.sensitive_packages = tuple(sensitive_packages)
+
+    def check(self, sf: SourceFile) -> Iterator[Finding]:
+        if not sf.in_package(*self.sensitive_packages):
+            return
+        module_scope = self._scope_names(sf.tree.body)
+        yield from self._walk(sf, sf.tree, [module_scope])
+
+    # -- scope inference ---------------------------------------------------
+    def _scope_names(self, body: Sequence[ast.stmt]) -> dict[str, bool]:
+        """Names (and ``self.x`` keys) bound to set-typed values by the
+        statements of one scope, nested suites included but nested
+        def/class bodies excluded."""
+        names: dict[str, bool] = {}
+
+        def visit(stmts: Sequence[ast.stmt]) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                     ast.ClassDef)):
+                    continue
+                if isinstance(stmt, ast.Assign) and \
+                        _value_is_set_constructor(stmt.value):
+                    for tgt in stmt.targets:
+                        key = _target_key(tgt)
+                        if key:
+                            names[key] = True
+                elif isinstance(stmt, ast.AnnAssign):
+                    key = _target_key(stmt.target)
+                    if key and (_annotation_is_set(stmt.annotation)
+                                or _value_is_set_constructor(stmt.value)):
+                        names[key] = True
+                for block in _block_fields(stmt):
+                    visit(block)
+
+        visit(body)
+        return names
+
+    def _class_self_names(self, cls: ast.ClassDef) -> dict[str, bool]:
+        """``self.x`` set-typed attributes bound anywhere in the class's
+        methods — so iterating ``self.x`` in *another* method is caught."""
+        names: dict[str, bool] = {}
+        for stmt in cls.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for key, val in self._scope_names(stmt.body).items():
+                    if key.startswith("self."):
+                        names[key] = val
+        return names
+
+    # -- detection ---------------------------------------------------------
+    def _is_setlike(self, expr: ast.AST, scopes: list[dict[str, bool]]) -> bool:
+        if _value_is_set_constructor(expr):
+            return True
+        key = _target_key(expr)
+        if key is None:
+            return False
+        return any(key in scope for scope in scopes)
+
+    def _walk(self, sf: SourceFile, node: ast.AST,
+              scopes: list[dict[str, bool]]) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._walk(
+                    sf, child, scopes + [self._scope_names(child.body)])
+                continue
+            if isinstance(child, ast.ClassDef):
+                yield from self._walk(
+                    sf, child, scopes + [self._class_self_names(child)])
+                continue
+            if isinstance(child, ast.For) and \
+                    self._is_setlike(child.iter, scopes):
+                yield self._report(sf, child.iter)
+            elif isinstance(child, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                    ast.GeneratorExp)):
+                for gen in child.generators:
+                    if self._is_setlike(gen.iter, scopes):
+                        yield self._report(sf, gen.iter)
+            elif isinstance(child, ast.Call):
+                func = dotted_name(child.func)
+                if (func in _ORDER_MATERIALISERS and child.args
+                        and self._is_setlike(child.args[0], scopes)):
+                    yield self._report(sf, child, via=func)
+            yield from self._walk(sf, child, scopes)
+
+    def _report(self, sf: SourceFile, node: ast.AST,
+                via: Optional[str] = None) -> Finding:
+        how = f"'{via}()' materialises" if via else "iteration materialises"
+        return self.finding(
+            sf, node,
+            f"{how} set order in an event-ordering-sensitive module; "
+            f"wrap in sorted() or keep an insertion-ordered list/dict")
+
+
+# --------------------------------------------------------------------------
+# rule 3: unguarded admission (the PR 1 slot-leak class)
+# --------------------------------------------------------------------------
+
+_ADMISSION_METHODS = frozenset({"acquire", "request"})
+_RELEASE_METHODS = frozenset({"release", "cancel"})
+
+
+def _has_release_call(stmts: Sequence[ast.AST]) -> bool:
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in _RELEASE_METHODS:
+                return True
+    return False
+
+
+class ResourceGuardRule(Rule):
+    """Admission calls without a ``finally``/``except`` release path."""
+
+    rule_id = "resource-guard"
+    description = ("an acquire()/request() admission must release/cancel on "
+                   "every exit path (try/finally or an except handler), or "
+                   "the slot leaks when the waiter is interrupted")
+
+    #: modules that implement the admission protocol itself.
+    exempt_modules = ("repro.sim.resources",)
+
+    def __init__(self, sim_packages: Iterable[str] = DEFAULT_SIM_PACKAGES):
+        self.sim_packages = tuple(sim_packages)
+
+    def check(self, sf: SourceFile) -> Iterator[Finding]:
+        if not sf.in_package(*self.sim_packages):
+            return
+        if sf.module in self.exempt_modules:
+            return
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in _ADMISSION_METHODS:
+                if not self._guarded(node):
+                    yield self.finding(
+                        sf, node,
+                        f"'.{node.func.attr}()' admission with no "
+                        f"release()/cancel() on the failure path; wrap the "
+                        f"held region in try/finally (or cancel in an "
+                        f"except handler)")
+
+    def _guarded(self, call: ast.Call) -> bool:
+        # (a) inside the try-body of a Try whose finally/handlers release.
+        for anc in ancestors(call):
+            if isinstance(anc, ast.Try) and _subtree_contains(anc.body, call):
+                if _has_release_call(anc.finalbody):
+                    return True
+                if any(_has_release_call(h.body) for h in anc.handlers):
+                    return True
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+        # (b) a later statement in an enclosing block is such a Try.
+        node: ast.AST = call
+        for anc in ancestors(call):
+            for block in _block_fields(anc):
+                if node in block:
+                    after = block[block.index(node) + 1:]
+                    for stmt in after:
+                        if isinstance(stmt, ast.Try) and (
+                                _has_release_call(stmt.finalbody)
+                                or any(_has_release_call(h.body)
+                                       for h in stmt.handlers)):
+                            return True
+            node = anc
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                break
+        return False
+
+
+# --------------------------------------------------------------------------
+# rule 4: region writes that bypass the race auditor
+# --------------------------------------------------------------------------
+
+class RegionBypassRule(Rule):
+    """Raw region-buffer writes outside the memory/verbs layers."""
+
+    rule_id = "region-bypass"
+    description = ("MemoryRegion storage may only be written through the "
+                   "audited accessors; _store/_words are region-internal "
+                   "and the remote_* landing API belongs to the verbs layer")
+
+    #: the accessor implementation itself.
+    region_modules = ("repro.memory.region",)
+    #: where remote ops legitimately land (the simulated NIC/verbs path).
+    verbs_modules = ("repro.memory.region", "repro.rdma.network")
+
+    _REMOTE_API = frozenset({
+        "remote_read", "remote_write", "remote_rmw_read", "remote_rmw_commit",
+    })
+
+    def __init__(self, sim_packages: Iterable[str] = DEFAULT_SIM_PACKAGES):
+        self.sim_packages = tuple(sim_packages)
+
+    def check(self, sf: SourceFile) -> Iterator[Finding]:
+        if not sf.in_package(*self.sim_packages):
+            return
+        in_region = sf.module in self.region_modules
+        in_verbs = sf.module in self.verbs_modules
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.Attribute) and node.attr == "_words" \
+                    and not in_region:
+                yield self.finding(
+                    sf, node,
+                    "direct '._words' buffer access bypasses the "
+                    "RaceAuditor; use read/write/cas/faa (or peek for "
+                    "oracle reads)")
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute):
+                attr = node.func.attr
+                if attr == "_store" and not in_region:
+                    yield self.finding(
+                        sf, node,
+                        "'._store()' bypasses the RaceAuditor; use the "
+                        "audited write/cas/faa accessors")
+                elif attr in self._REMOTE_API and not in_verbs:
+                    yield self.finding(
+                        sf, node,
+                        f"'.{attr}()' is the NIC landing API; issuing it "
+                        f"outside repro.rdma.network fabricates remote "
+                        f"traffic with no timing or audit window")
+
+
+# --------------------------------------------------------------------------
+# rule 5: frozen-dataclass mutation outside __post_init__
+# --------------------------------------------------------------------------
+
+class FrozenSetattrRule(Rule):
+    """``object.__setattr__`` outside ``__post_init__``/``__setstate__``."""
+
+    rule_id = "frozen-setattr"
+    description = ("object.__setattr__ defeats frozen-dataclass immutability;"
+                   " it is only legitimate during __post_init__/__setstate__")
+
+    _ALLOWED_FUNCS = frozenset({"__post_init__", "__setstate__"})
+
+    def check(self, sf: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.Call) and \
+                    dotted_name(node.func) == "object.__setattr__":
+                func = enclosing_function(node)
+                if func is None or func.name not in self._ALLOWED_FUNCS:
+                    where = f"'{func.name}'" if func else "module scope"
+                    yield self.finding(
+                        sf, node,
+                        f"object.__setattr__ in {where} mutates a frozen "
+                        f"dataclass after construction; restrict it to "
+                        f"__post_init__/__setstate__ or use "
+                        f"dataclasses.replace()")
+
+
+# --------------------------------------------------------------------------
+# registry
+# --------------------------------------------------------------------------
+
+def default_rules(
+        sim_packages: Iterable[str] = DEFAULT_SIM_PACKAGES,
+        sensitive_packages: Iterable[str] = DEFAULT_SENSITIVE_PACKAGES,
+) -> tuple[Rule, ...]:
+    """The shipped rule set, in stable registry order."""
+    return (
+        NondetSourceRule(sim_packages),
+        UnorderedIterRule(sensitive_packages),
+        ResourceGuardRule(sim_packages),
+        RegionBypassRule(sim_packages),
+        FrozenSetattrRule(),
+    )
+
+
+ALL_RULE_IDS: tuple[str, ...] = tuple(r.rule_id for r in default_rules())

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Literal
 
-from repro.common.errors import AtomicityViolation
+from repro.common.errors import AtomicityViolation, SimulationError
 
 Mode = Literal["off", "record", "strict"]
 
@@ -80,6 +80,10 @@ class RaceAuditor:
     violations: list[RaceRecord] = field(default_factory=list)
     _windows: dict[tuple[int, int], list[_RmwWindow]] = field(default_factory=dict)
     checked_ops: int = 0
+    #: retire calls for windows the auditor never saw (double-retire or a
+    #: begin/end pairing bug in the verbs layer) — an internal-consistency
+    #: error of the *simulator*, distinct from a Table-1 violation.
+    consistency_errors: int = 0
 
     # -- remote RMW windows ------------------------------------------------
     def remote_rmw_begin(self, node: int, addr: int, op: str, actor: str,
@@ -92,18 +96,30 @@ class RaceAuditor:
         return win
 
     def remote_rmw_end(self, node: int, window: _RmwWindow) -> None:
-        """Retire a window once its write has landed."""
+        """Retire a window once its write has landed.
+
+        Retiring a window that was never registered (or already retired)
+        means the verbs layer's begin/end pairing is broken — the audit's
+        own bookkeeping can no longer be trusted.  It is counted in
+        :attr:`consistency_errors` and, in ``strict`` mode, raised
+        immediately rather than silently swallowed.
+        """
         if self.mode == "off":
             return
         key = (node, window.addr)
         wins = self._windows.get(key)
-        if wins:
-            try:
-                wins.remove(window)
-            except ValueError:
-                pass
-            if not wins:
-                del self._windows[key]
+        if not wins or window not in wins:
+            self.consistency_errors += 1
+            if self.mode == "strict":
+                raise SimulationError(
+                    f"RaceAuditor.remote_rmw_end: retiring unknown RMW "
+                    f"window (node {node}, addr {window.addr:#x}, op "
+                    f"{window.op}, actor {window.actor}): double retire or "
+                    f"unmatched begin/end in the verbs layer")
+            return
+        wins.remove(window)
+        if not wins:
+            del self._windows[key]
 
     # -- local operations ----------------------------------------------------
     def local_op(self, node: int, addr: int, op: str, actor: str, time: float) -> None:
@@ -140,3 +156,4 @@ class RaceAuditor:
         self.violations.clear()
         self._windows.clear()
         self.checked_ops = 0
+        self.consistency_errors = 0

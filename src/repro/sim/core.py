@@ -115,7 +115,8 @@ class Event:
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
-        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+        # The address is debug output only — never feeds sim state or seeds.
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"  # simlint: ignore[nondet-source]
 
 
 class _Echo(Event):

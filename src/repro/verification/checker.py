@@ -18,7 +18,7 @@ class Counterexample:
     actions: list[int]  # pid that moved between consecutive states
     violation: str
 
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
+    def __str__(self) -> str:
         lines = [f"violation: {self.violation}",
                  f"trace length: {len(self.states)}"]
         for i, s in enumerate(self.states):
@@ -42,9 +42,10 @@ class CheckResult:
 @dataclass
 class _Exploration:
     spec: ALockSpec
-    visited: set = field(default_factory=set)
-    parents: dict = field(default_factory=dict)  # state -> (prev, pid)
-    frontier: deque = field(default_factory=deque)
+    visited: set[State] = field(default_factory=set)
+    #: state -> (predecessor, pid that moved), None for initial states.
+    parents: dict[State, tuple[State, int] | None] = field(default_factory=dict)
+    frontier: deque[State] = field(default_factory=deque)
 
 
 def _trace(exp: _Exploration, state: State, violation: str) -> Counterexample:
@@ -139,16 +140,27 @@ def check_progress_possibility(spec: ALockSpec, *, max_states: int = 500_000) ->
     fairness over the scheduler, which this possibility check
     approximates; see the package docstring.
     """
-    # Full reachable set first.
-    base = explore(spec, max_states=max_states)
-    all_states: set[State] = set()
-    frontier = deque(spec.initial_states())
-    all_states.update(frontier)
+    # Full reachable set first, kept as an insertion-ordered BFS list:
+    # the witness below is "the first bad state in BFS order", which must
+    # not depend on set iteration order (PYTHONHASHSEED).
+    order: list[State] = []
+    seen: set[State] = set()
+    frontier: deque[State] = deque()
+    for init in spec.initial_states():
+        if init not in seen:
+            seen.add(init)
+            order.append(init)
+            frontier.append(init)
     while frontier:
         s = frontier.popleft()
         for _pid, nxt in spec.successors(s):
-            if nxt not in all_states:
-                all_states.add(nxt)
+            if nxt not in seen:
+                if len(seen) >= max_states:
+                    raise ConfigError(
+                        f"state space exceeds max_states={max_states}; "
+                        f"raise the bound for this configuration")
+                seen.add(nxt)
+                order.append(nxt)
                 frontier.append(nxt)
 
     # Backward check per pid: states from which pid's cs is reachable.
@@ -156,15 +168,19 @@ def check_progress_possibility(spec: ALockSpec, *, max_states: int = 500_000) ->
     # cs — cached by (state, pid) via a reverse fixpoint:
     # iterate: GOOD_pid = {s : pid at cs in s} ∪ {s : ∃ step → GOOD_pid}.
     succs: dict[State, list[State]] = {
-        s: [nxt for _p, nxt in spec.successors(s)] for s in all_states}
-    preds: dict[State, list[State]] = {s: [] for s in all_states}
+        s: [nxt for _p, nxt in spec.successors(s)] for s in order}
+    preds: dict[State, list[State]] = {s: [] for s in order}
     for s, ns in succs.items():
         for n in ns:
             preds[n].append(s)
 
     for pid in spec.pids:
-        good = {s for s in all_states if spec.in_critical_section(s, pid)}
-        queue = deque(good)
+        good: set[State] = set()
+        queue: deque[State] = deque()
+        for s in order:
+            if spec.in_critical_section(s, pid):
+                good.add(s)
+                queue.append(s)
         while queue:
             g = queue.popleft()
             for p in preds[g]:
@@ -172,13 +188,13 @@ def check_progress_possibility(spec: ALockSpec, *, max_states: int = 500_000) ->
                     good.add(p)
                     queue.append(p)
         idle = {"p1", "ncs"}
-        for s in all_states:
+        for s in order:
             if s.pc[pid - 1] not in idle and s not in good:
                 return CheckResult(
-                    "ProgressPossibility", False, len(all_states),
+                    "ProgressPossibility", False, len(order),
                     Counterexample([s], [], f"pid {pid} at {s.pc[pid-1]} "
                                             f"can never reach cs"),
                     detail=f"pid {pid} permanently excluded")
-    return CheckResult("ProgressPossibility", True, len(all_states),
-                       detail=f"checked {len(all_states)} states x "
+    return CheckResult("ProgressPossibility", True, len(order),
+                       detail=f"checked {len(order)} states x "
                               f"{spec.n_processes} processes")

@@ -63,6 +63,11 @@ def run_workload(spec: WorkloadSpec, **cluster_kwargs) -> RunResult:
             is_local = entry.home_node == node
             start = env.now
             try:
+                # A VerbTimeout below aborts this client *without* a
+                # release: it models a crashed holder, which is exactly
+                # the stall the locktable's lease monitor must detect
+                # (degraded-entry reporting), so no cleanup by design.
+                # simlint: ignore[resource-guard]
                 yield from table.acquire(ctx, idx)
                 if injector is not None:
                     # Fault layer: the holder stalls inside its CS (GC

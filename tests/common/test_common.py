@@ -1,8 +1,10 @@
 """Tests for ids, RNG streams, and the trace buffer."""
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.common.errors import ConfigError
 from repro.common.ids import (
     _THREADS_PER_NODE_MAX,
     make_global_thread_id,
@@ -55,6 +57,41 @@ class TestDeriveSeed:
     def test_64_bit_range(self):
         s = derive_seed(7, "x")
         assert 0 <= s < 2**64
+
+    def test_non_primitive_key_part_rejected(self):
+        """repr() of arbitrary objects can embed memory addresses
+        (`<object object at 0x7f...>`), which would silently break
+        cross-process seed stability — reject them loudly instead."""
+        class Opaque:
+            pass
+
+        for bad in (object(), Opaque(), [1, 2], {"a": 1}, {1, 2},
+                    np.zeros(2)):
+            with pytest.raises(ConfigError, match="non-primitive"):
+                derive_seed(0, bad)
+
+    def test_non_primitive_inside_tuple_rejected(self):
+        with pytest.raises(ConfigError, match="non-primitive"):
+            derive_seed(0, ("outer", (1, object())))
+
+    def test_primitives_and_nested_tuples_accepted(self):
+        s = derive_seed(3, "a", 1, 2.5, b"raw", True, None, ("x", (4, 5)))
+        assert 0 <= s < 2**64
+
+    def test_numpy_scalars_normalise_to_python(self):
+        """numpy's scalar reprs changed between 1.x and 2.x; seeds must
+        not depend on the numpy version, so np scalars hash like their
+        Python equivalents."""
+        assert derive_seed(0, np.int64(7)) == derive_seed(0, 7)
+        assert derive_seed(0, np.float64(2.5)) == derive_seed(0, 2.5)
+
+    def test_rejection_is_stable_not_address_dependent(self):
+        """Two distinct instances fail identically — nothing about the
+        object (like its address) leaks into behaviour."""
+        with pytest.raises(ConfigError):
+            derive_seed(1, object())
+        with pytest.raises(ConfigError):
+            derive_seed(1, object())
 
 
 class TestRngStreams:

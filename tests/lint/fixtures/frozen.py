@@ -1,0 +1,19 @@
+"""Fixture: frozen-dataclass mutation in and out of __post_init__."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Record:
+    value: int
+    doubled: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "doubled", self.value * 2)  # allowed
+
+    def bump(self):
+        object.__setattr__(self, "value", self.value + 1)    # mutation
+
+
+def patch(record):
+    object.__setattr__(record, "value", 0)                   # mutation

@@ -1,0 +1,31 @@
+"""Fixture: every nondet-source hazard class (linted as repro.sim code).
+
+This file is excluded from the repo gate via [tool.simlint] exclude; the
+rule tests lint it with an explicit module override.
+"""
+
+import random
+import time
+from datetime import datetime
+from random import shuffle
+
+import numpy as np
+
+
+def draw():
+    a = random.random()            # global random module
+    b = time.time()                # wall clock
+    c = time.perf_counter()        # wall clock
+    d = datetime.now()             # wall clock
+    e = np.random.default_rng()    # un-seeded generator
+    f = np.random.randint(0, 10)   # numpy global RNG state
+    g = id(object())               # process address (warning)
+    h = hash("key")                # PYTHONHASHSEED (warning)
+    shuffle([1, 2, 3])
+    return a, b, c, d, e, f, g, h
+
+
+def fine(streams, derive_seed):
+    ok = np.random.default_rng(derive_seed(0, "fixture"))  # seeded: allowed
+    also_ok = streams.get("fixture", 0)
+    return ok, also_ok

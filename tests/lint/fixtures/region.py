@@ -1,0 +1,13 @@
+"""Fixture: region-buffer writes that bypass the RaceAuditor."""
+
+
+def poke(region, addr, value):
+    region._store(addr, value)             # internal store
+    region._words[addr // 8] = value       # raw buffer write
+    region.remote_write(addr, value)       # NIC landing API outside verbs
+    region.remote_rmw_commit(addr, value)  # NIC landing API outside verbs
+
+
+def fine(region, addr, value, actor):
+    region.write(addr, value, actor)       # audited accessor
+    return region.peek(addr)               # oracle read: allowed

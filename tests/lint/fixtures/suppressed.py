@@ -1,0 +1,14 @@
+"""Fixture: suppression-comment handling."""
+
+import time
+
+
+def timed():
+    a = time.time()  # simlint: ignore[nondet-source]
+    # justification on its own line applies to the next line:
+    # simlint: ignore[nondet-source]
+    b = time.time()
+    c = time.time()  # simlint: ignore[*]
+    d = time.time()  # simlint: ignore[unordered-iter]  (wrong id: still fires)
+    e = time.time()  # unsuppressed: fires
+    return a, b, c, d, e

@@ -1,0 +1,31 @@
+"""Fixture: set iteration in an (assumed) event-ordering-sensitive module."""
+
+from collections import deque
+
+
+class Tracker:
+    def __init__(self):
+        self.pending: set[int] = set()
+
+    def drain(self):
+        for item in self.pending:          # self-attr set, other method
+            yield item
+
+
+def schedule(ready, waiting: frozenset):
+    ready_set = set(ready)
+    for node in ready_set:                 # name bound to set()
+        print(node)
+    for node in {1, 2, 3}:                 # set literal
+        print(node)
+    order = list({w for w in waiting})     # list() materialises a set comp
+    first = deque(ready_set)               # deque() materialises a set
+    return order, first
+
+
+def fine(ready):
+    ready_set = set(ready)
+    ordered = sorted(ready_set)            # sorted(): allowed
+    if 3 in ready_set:                     # membership: allowed
+        return ordered
+    return []

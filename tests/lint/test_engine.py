@@ -1,0 +1,218 @@
+"""Engine-level behaviour: suppressions, baseline round-trip, strict
+mode, deterministic ordering, and the CLI surface."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.lint import Baseline, Finding, default_rules, lint_file, run_lint
+from repro.lint.engine import (
+    PARSE_ERROR_RULE,
+    UNUSED_SUPPRESSION_RULE,
+    iter_source_files,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SIM_MODULE = "repro.sim.fixture"
+
+
+class TestSuppressions:
+    def test_inline_own_line_and_wildcard(self):
+        findings = lint_file(FIXTURES / "suppressed.py", module=SIM_MODULE)
+        # only the wrong-id line and the bare line survive
+        assert sorted(f.line for f in findings) == [12, 13]
+
+    def test_wrong_rule_id_does_not_suppress(self):
+        findings = lint_file(FIXTURES / "suppressed.py", module=SIM_MODULE)
+        assert any(f.line == 12 and f.rule == "nondet-source"
+                   for f in findings)
+
+    def test_suppressed_findings_are_reported_as_suppressed(self):
+        report = run_lint([FIXTURES / "suppressed.py"], root=REPO_ROOT)
+        # module inference puts the fixture outside repro.*, so scoped
+        # rules skip it entirely — no suppression matches anything here.
+        assert report.findings == []
+
+    def test_strict_flags_unused_suppressions(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text(
+            "x = 1  # simlint: ignore[nondet-source]\n"
+            "y = 2\n")
+        report = run_lint([src], root=tmp_path, strict=True)
+        assert [f.rule for f in report.findings] == [UNUSED_SUPPRESSION_RULE]
+        assert report.findings[0].line == 1
+
+    def test_pragma_quoted_in_string_is_not_a_suppression(self, tmp_path):
+        """Docstrings/strings *describing* the pragma must neither
+        suppress findings nor show up as unused suppressions."""
+        src = tmp_path / "mod.py"
+        src.write_text(
+            '"""Use `# simlint: ignore[frozen-setattr]` to suppress."""\n'
+            "def f(r):\n"
+            "    object.__setattr__(r, 'x', 1)\n")
+        report = run_lint([src], root=tmp_path, strict=True)
+        assert [f.rule for f in report.findings] == ["frozen-setattr"]
+
+    def test_used_suppression_not_flagged_in_strict(self, tmp_path):
+        src = tmp_path / "src" / "repro" / "sim" / "mod.py"
+        src.parent.mkdir(parents=True)
+        for pkg in (tmp_path / "src" / "repro",
+                    tmp_path / "src" / "repro" / "sim"):
+            (pkg / "__init__.py").write_text("")
+        src.write_text(
+            "import time\n"
+            "t = time.time()  # simlint: ignore[nondet-source]\n")
+        report = run_lint([src], root=tmp_path, strict=True)
+        assert report.findings == []
+        assert len(report.suppressed) == 1
+
+
+class TestBaseline:
+    def _one_finding(self):
+        return Finding("src/x.py", 10, 4, "nondet-source", "error",
+                       "'time.time()' reads the wall clock")
+
+    def test_round_trip(self, tmp_path):
+        findings = [self._one_finding(), self._one_finding(),
+                    Finding("src/y.py", 2, 0, "unordered-iter", "error",
+                            "iteration materialises set order")]
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 3
+        new, old = loaded.split(findings)
+        assert new == [] and len(old) == 3
+
+    def test_counts_gate_extra_occurrences(self):
+        baseline = Baseline.from_findings([self._one_finding()])
+        # a second occurrence of the same (file, rule, message) is NEW
+        new, old = baseline.split([self._one_finding(), self._one_finding()])
+        assert len(old) == 1 and len(new) == 1
+
+    def test_line_drift_still_matches(self):
+        baseline = Baseline.from_findings([self._one_finding()])
+        drifted = Finding("src/x.py", 99, 4, "nondet-source", "error",
+                          "'time.time()' reads the wall clock")
+        new, old = baseline.split([drifted])
+        assert new == [] and old == [drifted]
+
+    def test_save_is_stable(self, tmp_path):
+        findings = [self._one_finding()]
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        Baseline.from_findings(findings).save(a)
+        Baseline.from_findings(findings).save(b)
+        assert a.read_text() == b.read_text()
+
+    def test_run_lint_applies_baseline(self, tmp_path):
+        src = tmp_path / "src" / "repro" / "sim" / "mod.py"
+        src.parent.mkdir(parents=True)
+        for pkg in (tmp_path / "src" / "repro",
+                    tmp_path / "src" / "repro" / "sim"):
+            (pkg / "__init__.py").write_text("")
+        src.write_text("import time\nt = time.time()\n")
+        dirty = run_lint([src], root=tmp_path)
+        assert len(dirty.findings) == 1
+        baseline = Baseline.from_findings(dirty.findings)
+        clean = run_lint([src], root=tmp_path, baseline=baseline)
+        assert clean.findings == [] and len(clean.baselined) == 1
+        # strict ignores the baseline
+        strict = run_lint([src], root=tmp_path, baseline=baseline,
+                          strict=True)
+        assert len(strict.findings) == 1
+
+
+class TestDeterminism:
+    def test_repeated_runs_are_identical(self):
+        a = run_lint([FIXTURES], root=REPO_ROOT)
+        b = run_lint([FIXTURES], root=REPO_ROOT)
+        assert a.findings == b.findings
+        assert a.suppressed == b.suppressed
+
+    def test_path_order_does_not_matter(self):
+        fwd = run_lint([FIXTURES / "frozen.py", FIXTURES / "region.py"],
+                       root=REPO_ROOT)
+        rev = run_lint([FIXTURES / "region.py", FIXTURES / "frozen.py"],
+                       root=REPO_ROOT)
+        assert fwd.findings == rev.findings
+
+    def test_order_is_stable_across_hash_seeds(self):
+        """The report must not depend on PYTHONHASHSEED — the exact
+        property simlint polices in the simulator."""
+        script = (
+            "import json, sys\n"
+            "from pathlib import Path\n"
+            "from repro.lint import run_lint\n"
+            f"r = run_lint([Path({str(FIXTURES)!r})], "
+            f"root=Path({str(REPO_ROOT)!r}))\n"
+            "print(json.dumps([f.render() for f in r.findings]))\n")
+        outs = []
+        for seed in ("0", "1", "31337"):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True,
+                env={"PYTHONHASHSEED": seed,
+                     "PYTHONPATH": str(REPO_ROOT / "src")})
+            assert proc.returncode == 0, proc.stderr
+            outs.append(proc.stdout)
+        assert outs[0] == outs[1] == outs[2]
+
+    def test_file_discovery_sorted_and_deduplicated(self):
+        files = iter_source_files(
+            [FIXTURES, FIXTURES / "frozen.py"], root=REPO_ROOT)
+        rels = [f.name for f in files]
+        assert rels == sorted(rels)
+        assert rels.count("frozen.py") == 1
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n    pass\n")
+        report = run_lint([bad], root=tmp_path)
+        assert [f.rule for f in report.findings] == [PARSE_ERROR_RULE]
+        assert not report.clean
+
+
+class TestCli:
+    def _run(self, *args, cwd=REPO_ROOT):
+        return subprocess.run(
+            [sys.executable, "-m", "repro.lint", *args],
+            capture_output=True, text=True, cwd=cwd,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"),
+                 "PYTHONHASHSEED": "random"})
+
+    def test_list_rules(self):
+        proc = self._run("--list-rules")
+        assert proc.returncode == 0
+        for rule in default_rules():
+            assert rule.rule_id in proc.stdout
+
+    def test_json_output_on_fixtures(self):
+        proc = self._run("tests/lint/fixtures/frozen.py",
+                         "--json", "--no-baseline")
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["clean"] is False
+        assert {f["rule"] for f in payload["findings"]} == {"frozen-setattr"}
+
+    def test_unknown_rule_id_is_usage_error(self):
+        proc = self._run("--rules", "no-such-rule")
+        assert proc.returncode == 2
+
+    def test_write_baseline_round_trip(self, tmp_path):
+        root = tmp_path
+        (root / "mod.py").write_text(
+            "from dataclasses import dataclass\n"
+            "def f(r):\n"
+            "    object.__setattr__(r, 'x', 1)\n")
+        (root / "pyproject.toml").write_text(
+            '[tool.simlint]\npaths = ["mod.py"]\n'
+            'baseline = "baseline.json"\n')
+        dirty = self._run("--root", str(root), cwd=root)
+        assert dirty.returncode == 1
+        wrote = self._run("--root", str(root), "--write-baseline", cwd=root)
+        assert wrote.returncode == 0, wrote.stderr
+        clean = self._run("--root", str(root), cwd=root)
+        assert clean.returncode == 0, clean.stdout

@@ -1,0 +1,40 @@
+"""The CI gate: the committed tree must lint clean against the committed
+baseline, exactly as ``python -m repro.lint`` runs it."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.mark.lint
+class TestRepoIsClean:
+    def test_api_gate_zero_findings(self):
+        """src + tests + benchmarks lint clean with the committed baseline."""
+        baseline = Baseline.load(REPO_ROOT / "simlint-baseline.json")
+        report = run_lint(
+            ["src", "tests", "benchmarks"], root=REPO_ROOT,
+            baseline=baseline, exclude=["tests/lint/fixtures"])
+        rendered = "\n".join(f.render() for f in report.findings)
+        assert report.clean, f"simlint findings:\n{rendered}"
+        assert report.files_scanned > 100  # the walk really covered the tree
+
+    def test_cli_gate_exits_zero(self):
+        """The exact command documented in README/tutorial passes."""
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "src", "tests", "benchmarks"],
+            capture_output=True, text=True, cwd=REPO_ROOT,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"),
+                 "PYTHONHASHSEED": "random"})
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_committed_baseline_parses_and_is_empty(self):
+        """Nothing is grandfathered right now; new findings must be fixed
+        or explicitly suppressed, not silently absorbed."""
+        baseline = Baseline.load(REPO_ROOT / "simlint-baseline.json")
+        assert len(baseline) == 0

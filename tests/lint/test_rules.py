@@ -1,0 +1,164 @@
+"""Per-rule fixture tests: every shipped rule must fire on its seeded
+fixture file and stay quiet on that fixture's ``fine`` section."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import default_rules, lint_file
+from repro.lint.engine import lint_source_file
+from repro.lint.findings import ERROR, WARNING
+from repro.lint.source import SourceFile
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: fixtures are linted as if they lived inside the simulation tree, so
+#: package-scoped rules apply.
+SIM_MODULE = "repro.sim.fixture"
+
+
+def lint_fixture(name: str, module: str = SIM_MODULE):
+    return lint_file(FIXTURES / name, module=module)
+
+
+def rules_fired(findings) -> set[str]:
+    return {f.rule for f in findings}
+
+
+class TestNondetSourceRule:
+    def test_fires_on_every_hazard_class(self):
+        findings = [f for f in lint_fixture("nondet.py")
+                    if f.rule == "nondet-source"]
+        messages = " | ".join(f.message for f in findings)
+        assert "'random.random()'" in messages
+        assert "'time.time()'" in messages
+        assert "'time.perf_counter()'" in messages
+        assert "'datetime.now()'" in messages
+        assert "un-seeded np.random.default_rng()" in messages
+        assert "'np.random.randint()'" in messages
+        assert "'id()'" in messages
+        assert "'hash()'" in messages
+        assert "import of the global 'random' module" in messages
+        assert "import from the global 'random' module" in messages
+
+    def test_seeded_default_rng_and_streams_are_clean(self):
+        findings = lint_fixture("nondet.py")
+        fine_lines = {f.line for f in findings if f.line >= 28}
+        assert not fine_lines, findings
+
+    def test_id_and_hash_are_warnings(self):
+        findings = lint_fixture("nondet.py")
+        by_sev = {f.severity for f in findings
+                  if "'id()'" in f.message or "'hash()'" in f.message}
+        assert by_sev == {WARNING}
+        assert all(f.severity == ERROR for f in findings
+                   if "wall clock" in f.message)
+
+    def test_silent_outside_sim_packages(self):
+        assert lint_file(FIXTURES / "nondet.py",
+                         module="tests.lint.fixture") == []
+
+
+class TestUnorderedIterRule:
+    def test_fires_on_iteration_forms(self):
+        findings = [f for f in lint_fixture("unordered.py")
+                    if f.rule == "unordered-iter"]
+        lines = sorted(f.line for f in findings)
+        # self-attr in another method, set() name, set literal,
+        # list(set-comp), deque(set-name)
+        assert lines == [11, 17, 19, 21, 22]
+
+    def test_sorted_and_membership_are_clean(self):
+        findings = lint_fixture("unordered.py")
+        assert not [f for f in findings if f.line >= 26], findings
+
+    def test_silent_outside_sensitive_packages(self):
+        assert lint_file(FIXTURES / "unordered.py",
+                         module="repro.analysis.fixture") == []
+
+
+class TestResourceGuardRule:
+    def test_fires_on_unguarded_admissions(self):
+        findings = [f for f in lint_fixture("resources.py",
+                                            module="repro.rdma.fixture")
+                    if f.rule == "resource-guard"]
+        assert sorted(f.line for f in findings) == [5, 12]
+        assert all(".request()" in f.message or ".acquire()" in f.message
+                   for f in findings)
+
+    def test_try_finally_and_except_guards_are_clean(self):
+        findings = lint_fixture("resources.py", module="repro.rdma.fixture")
+        assert not [f for f in findings if f.line >= 16], findings
+
+    def test_resources_module_itself_is_exempt(self):
+        assert lint_file(FIXTURES / "resources.py",
+                         module="repro.sim.resources") == []
+
+
+class TestRegionBypassRule:
+    def test_fires_on_raw_writes_and_remote_api(self):
+        findings = [f for f in lint_fixture("region.py",
+                                            module="repro.locks.fixture")
+                    if f.rule == "region-bypass"]
+        messages = " | ".join(f.message for f in findings)
+        assert len(findings) == 4
+        assert "'._store()'" in messages
+        assert "'._words'" in messages
+        assert "'.remote_write()'" in messages
+        assert "'.remote_rmw_commit()'" in messages
+
+    def test_audited_accessors_and_peek_are_clean(self):
+        findings = lint_fixture("region.py", module="repro.locks.fixture")
+        assert not [f for f in findings if f.line >= 11], findings
+
+    def test_verbs_layer_may_use_remote_api(self):
+        findings = lint_file(FIXTURES / "region.py",
+                             module="repro.rdma.network")
+        messages = " | ".join(f.message for f in findings)
+        assert "remote_write" not in messages
+        # _store/_words stay region-internal even inside the verbs layer
+        assert "'._store()'" in messages
+
+
+class TestFrozenSetattrRule:
+    def test_fires_outside_post_init(self):
+        findings = [f for f in lint_fixture("frozen.py")
+                    if f.rule == "frozen-setattr"]
+        contexts = " | ".join(f.message for f in findings)
+        assert len(findings) == 2
+        assert "'bump'" in contexts
+        assert "'patch'" in contexts
+
+    def test_post_init_is_allowed(self):
+        findings = lint_fixture("frozen.py")
+        assert not [f for f in findings if f.line == 12], findings
+
+    def test_applies_even_outside_repro_packages(self):
+        findings = lint_file(FIXTURES / "frozen.py", module="tests.fixture")
+        assert rules_fired(findings) == {"frozen-setattr"}
+
+
+class TestRuleFrameworkContracts:
+    def test_every_shipped_rule_has_a_distinct_id(self):
+        ids = [r.rule_id for r in default_rules()]
+        assert len(ids) == len(set(ids))
+        assert all(ids), "every rule needs a non-empty id"
+
+    @pytest.mark.parametrize("name,module", [
+        ("nondet.py", SIM_MODULE),
+        ("unordered.py", SIM_MODULE),
+        ("resources.py", "repro.rdma.fixture"),
+        ("region.py", "repro.locks.fixture"),
+        ("frozen.py", SIM_MODULE),
+    ])
+    def test_finding_order_is_canonical(self, name, module):
+        findings = lint_file(FIXTURES / name, module=module)
+        assert findings == sorted(findings)
+        assert all(f.line >= 1 and f.col >= 0 for f in findings)
+
+    def test_rules_never_execute_the_target(self, tmp_path):
+        """Parsing only: a file whose import would explode lints fine."""
+        bad = tmp_path / "explosive.py"
+        bad.write_text("raise SystemExit('linting must not import me')\n")
+        sf = SourceFile.parse(bad, module="repro.sim.explosive")
+        assert lint_source_file(sf, default_rules()) == []

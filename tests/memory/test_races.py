@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.common.errors import AtomicityViolation
+from repro.common.errors import AtomicityViolation, SimulationError
 from repro.memory.races import (
     LOCAL_READ,
     LOCAL_RMW,
@@ -122,3 +122,62 @@ class TestModes:
         assert auditor.violation_count == 0
         auditor.local_op(0, 64, LOCAL_WRITE, "t0", 150.0)
         assert auditor.violation_count == 0  # window cleared too
+
+
+class TestWindowConsistency:
+    """Retiring a window the auditor never saw is an internal bug of the
+    verbs layer (double retire / unmatched begin-end), not a Table-1
+    violation — counted always, raised in strict mode."""
+
+    def test_double_retire_counted(self, auditor):
+        win = open_window(auditor)
+        auditor.remote_rmw_end(0, win)
+        auditor.remote_rmw_end(0, win)
+        assert auditor.consistency_errors == 1
+        assert auditor.violation_count == 0  # not a Table-1 violation
+
+    def test_unknown_window_counted(self, auditor):
+        win = auditor.remote_rmw_begin(0, 64, "rCAS", "r", 0.0, 1.0)
+        auditor.reset()
+        auditor.remote_rmw_end(0, win)
+        assert auditor.consistency_errors == 1
+
+    def test_wrong_node_counted(self, auditor):
+        win = open_window(auditor, node=0)
+        auditor.remote_rmw_end(1, win)
+        assert auditor.consistency_errors == 1
+        # the real window is still live and keeps detecting races
+        auditor.local_op(0, 64, LOCAL_WRITE, "t0", 150.0)
+        assert auditor.violation_count == 1
+
+    def test_strict_mode_raises(self):
+        auditor = RaceAuditor(mode="strict")
+        win = open_window(auditor)
+        auditor.remote_rmw_end(0, win)
+        with pytest.raises(SimulationError, match="unknown RMW window"):
+            auditor.remote_rmw_end(0, win)
+        assert auditor.consistency_errors == 1
+
+    def test_record_mode_does_not_raise(self, auditor):
+        win = open_window(auditor)
+        auditor.remote_rmw_end(0, win)
+        auditor.remote_rmw_end(0, win)  # swallowed but counted
+
+    def test_off_mode_ignores(self):
+        auditor = RaceAuditor(mode="off")
+        win = auditor.remote_rmw_begin(0, 64, "rCAS", "r", 0.0, 1.0)
+        auditor.remote_rmw_end(0, win)
+        auditor.remote_rmw_end(0, win)
+        assert auditor.consistency_errors == 0
+
+    def test_matched_retire_not_counted(self, auditor):
+        win = open_window(auditor)
+        auditor.remote_rmw_end(0, win)
+        assert auditor.consistency_errors == 0
+
+    def test_reset_clears_counter(self, auditor):
+        win = open_window(auditor)
+        auditor.remote_rmw_end(0, win)
+        auditor.remote_rmw_end(0, win)
+        auditor.reset()
+        assert auditor.consistency_errors == 0

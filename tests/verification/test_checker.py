@@ -1,6 +1,10 @@
 """Model-checking the appendix properties (and confirming the checker
 has teeth against injected bugs)."""
 
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.common.errors import ConfigError
@@ -90,6 +94,70 @@ class TestCheckerHasTeeth:
         spec = ALockSpec(3, 2, bug="skip_handoff_wait")
         assert not check_mutual_exclusion(spec).holds
         assert check_mutual_exclusion(ALockSpec(3, 2)).holds
+
+
+class TestCounterexampleRendering:
+    """str(Counterexample) is what lands in failure reports — it has to
+    carry the violation, the trace, and who moved at each step."""
+
+    @pytest.fixture(scope="class")
+    def cex(self):
+        spec = ALockSpec(3, 2, bug="skip_handoff_wait")
+        return check_mutual_exclusion(spec).counterexample
+
+    def test_header_lines(self, cex):
+        text = str(cex)
+        lines = text.splitlines()
+        assert lines[0] == f"violation: {cex.violation}"
+        assert lines[1] == f"trace length: {len(cex.states)}"
+
+    def test_one_line_per_step_with_state_fields(self, cex):
+        lines = str(cex).splitlines()
+        assert len(lines) == 2 + len(cex.states)
+        for i, state in enumerate(cex.states):
+            line = lines[2 + i]
+            assert line.startswith(f"  step {i}")
+            assert f"pc={state.pc}" in line
+            assert f"victim={state.victim}" in line
+            assert f"budget={state.budget}" in line
+
+    def test_movers_annotated_after_initial_step(self, cex):
+        lines = str(cex).splitlines()
+        assert "moved" not in lines[2]  # initial state has no mover
+        for i, pid in enumerate(cex.actions, start=1):
+            assert f"(pid {pid} moved)" in lines[2 + i]
+
+    def test_progress_counterexample_renders(self):
+        """Livelock traces (progress violation) render the same way."""
+        result = check_progress_possibility(ALockSpec(2, 1, bug="no_victim_check"))
+        assert not result.holds
+        text = str(result.counterexample)
+        assert text.startswith("violation: ")
+        assert "step 0" in text
+
+
+class TestWitnessDeterminism:
+    def test_progress_witness_stable_across_hash_seeds(self):
+        """The livelock witness picked by check_progress_possibility must
+        not depend on PYTHONHASHSEED (BFS over insertion-ordered lists,
+        not set iteration)."""
+        script = (
+            "from repro.verification import ALockSpec, "
+            "check_progress_possibility\n"
+            "r = check_progress_possibility("
+            "ALockSpec(2, 1, bug='no_victim_check'))\n"
+            "print(str(r.counterexample))\n")
+        repo_root = Path(__file__).resolve().parents[2]
+        outs = []
+        for seed in ("0", "1", "31337"):
+            proc = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True,
+                env={"PYTHONHASHSEED": seed,
+                     "PYTHONPATH": str(repo_root / "src")})
+            assert proc.returncode == 0, proc.stderr
+            outs.append(proc.stdout)
+        assert outs[0] == outs[1] == outs[2]
 
 
 class TestExploreBounds:
