@@ -8,13 +8,24 @@ algorithm until the remote cohort's tail clears.  The protocol trace
 printed at the end is the execution of the paper's eight frames.
 
 Run:  python examples/quickstart.py
+      python examples/quickstart.py --trace-out fig2.trace.json
+        (then open the JSON at https://ui.perfetto.dev — each lock
+        acquisition is a span tree: lock.acquire > peterson.compete >
+        verb.rtt)
 """
 
+import argparse
+
 from repro import ALock, Cluster
+from repro.obs import ObsConfig
+from repro.obs.capture import CapturedRun
+from repro.obs.export import span_table, write_trace
 
 
-def main() -> None:
-    cluster = Cluster(n_nodes=2, seed=42, trace=True, audit="strict")
+def main(trace_out: str | None = None) -> None:
+    obs = ObsConfig(spans=True) if trace_out else None
+    cluster = Cluster(n_nodes=2, seed=42, trace=True, audit="strict",
+                      obs=obs)
     lock = ALock(cluster, home_node=1, name="l2")
     t1 = cluster.thread_ctx(node_id=0, thread_id=0)   # remote to l2
     t2 = cluster.thread_ctx(node_id=1, thread_id=0)   # local to l2
@@ -70,6 +81,19 @@ def main() -> None:
     print(f"  - Table-1 audit (strict mode): "
           f"{cluster.auditor.violation_count} violations")
 
+    if trace_out:
+        spans = cluster.obs.spans.spans()
+        write_trace(trace_out, [CapturedRun("quickstart-fig2", spans,
+                                            cluster.obs.metrics.collect())])
+        print(f"\nTyped span tree ({len(spans)} spans):")
+        print(span_table(spans))
+        print(f"\nPerfetto trace written to {trace_out} — open it at "
+              f"https://ui.perfetto.dev")
+
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="also record typed spans and write a "
+                             "Chrome/Perfetto trace-event JSON")
+    main(parser.parse_args().trace_out)

@@ -18,6 +18,7 @@ from repro.faults import FaultInjector, FaultPlan
 from repro.memory.pointer import MAX_NODES
 from repro.memory.races import RaceAuditor
 from repro.memory.region import MemoryRegion
+from repro.obs import ObsConfig, Observability
 from repro.rdma.config import RdmaConfig
 from repro.rdma.network import RdmaNetwork
 from repro.sim.core import Environment
@@ -52,21 +53,30 @@ class Cluster:
             injector (seeded from this cluster's RNG registry, so fault
             schedules replay exactly).  ``None`` or an inactive plan
             keeps the fault-free code path.
+        obs: optional :class:`~repro.obs.ObsConfig` enabling typed trace
+            spans and/or the metrics registry.  The registry's pull-model
+            collectors (NIC/verb/fault counters) are wired regardless, so
+            ``cluster.obs.metrics.collect()`` works even with recording
+            off.
     """
 
     def __init__(self, n_nodes: int, *, config: Optional[RdmaConfig] = None,
                  region_bytes: int = DEFAULT_REGION_BYTES, seed: int = 0,
                  audit: str = "record", trace: bool = False,
-                 faults: Optional[FaultPlan] = None):
+                 faults: Optional[FaultPlan] = None,
+                 obs: Optional[ObsConfig] = None):
         if not 1 <= n_nodes <= MAX_NODES:
             raise ConfigError(f"n_nodes must be in [1, {MAX_NODES}], got {n_nodes}")
         if faults is not None and not isinstance(faults, FaultPlan):
             raise ConfigError(f"faults must be a FaultPlan, got {faults!r}")
+        if obs is not None and not isinstance(obs, ObsConfig):
+            raise ConfigError(f"obs must be an ObsConfig, got {obs!r}")
         self.env = Environment()
         self.config = config or RdmaConfig()
         self.rng = RngStreams(seed)
         self.auditor = RaceAuditor(mode=audit) if audit != "off" else RaceAuditor(mode="off")
         self.tracer = TraceBuffer(enabled=trace)
+        self.obs = Observability(self.env, obs or ObsConfig())
         self.fault_plan = faults
         self.fault_injector = (
             FaultInjector(faults, self.rng.fork("faults"))
@@ -78,9 +88,10 @@ class Cluster:
         self.network = RdmaNetwork(
             self.env, self.config, self.regions, auditor=self.auditor,
             jitter_rng=self.rng.get("fabric-jitter"),
-            injector=self.fault_injector)
+            injector=self.fault_injector, obs=self.obs)
         self.nodes = [Node(i, self.regions[i]) for i in range(n_nodes)]
         self._contexts: dict[tuple[int, int], "ThreadContext"] = {}
+        self._register_collectors()
 
     @property
     def n_nodes(self) -> int:
@@ -107,20 +118,45 @@ class Cluster:
         """Advance the simulation (delegates to the environment)."""
         return self.env.run(until)
 
+    def _register_collectors(self) -> None:
+        """Consolidate the scattered subsystem counters into the metrics
+        registry's pull side.  ``stats()`` and ``metrics.collect()`` are
+        views of the same tree."""
+        reg = self.obs.metrics
+        reg.add_collector("network", self.network.stats)
+        reg.add_collector("memory", lambda: [
+            {
+                "node": r.node_id,
+                "local_reads": r.local_reads,
+                "local_writes": r.local_writes,
+                "local_rmws": r.local_rmws,
+                "remote_ops_landed": r.remote_ops_landed,
+                "bytes_allocated": r.bytes_allocated,
+            }
+            for r in self.regions
+        ])
+        reg.add_collector("atomicity_violations",
+                          lambda: self.auditor.violation_count)
+        reg.add_collector("threads", lambda: [
+            {
+                "node": node_id,
+                "thread": thread_id,
+                "local_ops": ctx.local_op_count,
+                "remote_ops": ctx.remote_op_count,
+                "verb_timeouts": ctx.verb_timeouts,
+            }
+            for (node_id, thread_id), ctx in sorted(self._contexts.items())
+        ])
+
     def stats(self) -> dict:
-        """Cluster-wide counters: verbs, NICs, memory, audit results."""
+        """Cluster-wide counters: verbs, NICs, memory, audit results.
+
+        A subset view of :meth:`repro.obs.metrics.MetricsRegistry.collect`
+        (kept for backwards compatibility — the registry tree adds
+        per-thread counters and any pushed app metrics)."""
+        tree = self.obs.metrics.collect()
         return {
-            "network": self.network.stats(),
-            "memory": [
-                {
-                    "node": r.node_id,
-                    "local_reads": r.local_reads,
-                    "local_writes": r.local_writes,
-                    "local_rmws": r.local_rmws,
-                    "remote_ops_landed": r.remote_ops_landed,
-                    "bytes_allocated": r.bytes_allocated,
-                }
-                for r in self.regions
-            ],
-            "atomicity_violations": self.auditor.violation_count,
+            "network": tree["network"],
+            "memory": tree["memory"],
+            "atomicity_violations": tree["atomicity_violations"],
         }

@@ -38,6 +38,7 @@ class ThreadContext:
         self._region = cluster.regions[node_id]
         self._net = cluster.network
         self._cpu = cluster.config.cpu
+        self.spans = cluster.obs.spans  # typed span recorder (obs layer)
         # statistics
         self.local_op_count = 0
         self.remote_op_count = 0

@@ -46,11 +46,14 @@ class TraceBuffer:
     enabled: bool = False
     _events: deque = field(default_factory=deque, repr=False)
 
+    def __post_init__(self) -> None:
+        # A maxlen deque evicts in C on append — no length check or
+        # popleft on the emit path.
+        self._events = deque(self._events, maxlen=self.capacity)
+
     def emit(self, time: float, actor: str, kind: str, detail: str = "") -> None:
         if not self.enabled:
             return
-        if len(self._events) >= self.capacity:
-            self._events.popleft()
         self._events.append(TraceEvent(time, actor, kind, detail))
 
     def __iter__(self) -> Iterator[TraceEvent]:
@@ -63,10 +66,12 @@ class TraceBuffer:
         self._events.clear()
 
     def filtered(self, *, actor: str | None = None, kind: str | None = None) -> list[TraceEvent]:
-        """Events matching the given actor and/or kind prefix."""
+        """Events whose actor and/or kind start with the given prefixes
+        (both filters are prefix matches: ``actor="t1"`` selects
+        ``t1@n0`` and ``t1@n1``, ``kind="mcs"`` selects ``mcs.*``)."""
         out = []
         for ev in self._events:
-            if actor is not None and ev.actor != actor:
+            if actor is not None and not ev.actor.startswith(actor):
                 continue
             if kind is not None and not ev.kind.startswith(kind):
                 continue

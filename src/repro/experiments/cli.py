@@ -14,6 +14,9 @@ import sys
 import time
 
 from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.obs import ObsConfig
+from repro.obs.capture import ObsCapture, activate, deactivate
+from repro.obs.export import write_metrics, write_trace
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -31,6 +34,13 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--out", default=None,
                        help="also append markdown reports to this file")
+    run_p.add_argument("--trace-out", default=None, metavar="FILE",
+                       help="record typed spans for every workload run and "
+                            "write a Chrome/Perfetto trace-event JSON "
+                            "(open at ui.perfetto.dev)")
+    run_p.add_argument("--metrics-out", default=None, metavar="FILE",
+                       help="write the per-run metrics-registry snapshots "
+                            "as flat JSON")
     args = parser.parse_args(argv)
 
     if args.command == "list":
@@ -39,20 +49,36 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     ids = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    capture = None
+    if args.trace_out or args.metrics_out:
+        capture = activate(ObsCapture(ObsConfig(
+            spans=bool(args.trace_out), metrics=bool(args.metrics_out))))
     failed = []
     reports = []
-    for exp_id in ids:
-        # Wall-clock here times the *host* run for the operator's progress
-        # line; it never feeds simulation state or results.
-        start = time.perf_counter()  # simlint: ignore[nondet-source]
-        result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
-        elapsed = time.perf_counter() - start  # simlint: ignore[nondet-source]
-        report = result.to_markdown()
-        reports.append(report)
-        print(report)
-        print(f"\n({exp_id} finished in {elapsed:.1f}s)\n")
-        if not result.all_shapes_hold:
-            failed.append(exp_id)
+    try:
+        for exp_id in ids:
+            # Wall-clock here times the *host* run for the operator's
+            # progress line; it never feeds simulation state or results.
+            start = time.perf_counter()  # simlint: ignore[nondet-source]
+            result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
+            elapsed = time.perf_counter() - start  # simlint: ignore[nondet-source]
+            report = result.to_markdown()
+            reports.append(report)
+            print(report)
+            print(f"\n({exp_id} finished in {elapsed:.1f}s)\n")
+            if not result.all_shapes_hold:
+                failed.append(exp_id)
+    finally:
+        if capture is not None:
+            deactivate(capture)
+    if capture is not None:
+        if args.trace_out:
+            write_trace(args.trace_out, capture.runs)
+            print(f"trace: {len(capture.runs)} runs -> {args.trace_out} "
+                  f"(load at ui.perfetto.dev)")
+        if args.metrics_out:
+            write_metrics(args.metrics_out, capture.runs)
+            print(f"metrics: {len(capture.runs)} runs -> {args.metrics_out}")
     if args.out:
         with open(args.out, "a", encoding="utf-8") as fh:
             fh.write("\n\n".join(reports) + "\n")

@@ -7,6 +7,7 @@ from typing import Callable
 from repro.common.errors import ConfigError
 from repro.experiments import (
     ext_faults,
+    ext_phases,
     ext_related_work,
     ext_skew,
     fig1_loopback,
@@ -27,6 +28,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "ext-related": ext_related_work.run,
     "ext-skew": ext_skew.run,
     "ext-faults": ext_faults.run,
+    "ext-phases": ext_phases.run,
 }
 
 

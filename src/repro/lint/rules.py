@@ -53,6 +53,7 @@ DEFAULT_SENSITIVE_PACKAGES: tuple[str, ...] = (
     "repro.locktable",
     "repro.workload",
     "repro.memory",
+    "repro.obs",
     "repro.verification",
 )
 

@@ -40,9 +40,15 @@ from repro.locks.alock.descriptors import (
     descriptor_pair,
     descriptor_pools,
 )
-from repro.locks.base import DistributedLock, register_lock_type
+from repro.locks.base import (
+    DistributedLock,
+    observed_acquire,
+    observed_release,
+    register_lock_type,
+)
 from repro.locks.layout import ALOCK_LAYOUT
 from repro.memory.pointer import RdmaPointer
+from repro.obs import COHORT_HANDOVER, MCS_QUEUE_WAIT
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster import Cluster, ThreadContext
@@ -99,6 +105,7 @@ class ALock(DistributedLock):
         self.leader_acquires = {"local": 0, "remote": 0}
 
     # -- public protocol ----------------------------------------------------
+    @observed_acquire
     def lock(self, ctx: "ThreadContext"):
         """Algorithm 2 ``Lock(rdma_ptr<ALock>)``."""
         if ctx.gid in self._sessions:
@@ -109,6 +116,8 @@ class ALock(DistributedLock):
             pair = descriptor_pair(ctx)
         slot = 0 if ctx.is_local(self.base_ptr) else 1
         cohort = "local" if slot == 0 else "remote"
+        if ctx.spans.enabled:
+            ctx.spans.annotate(ctx.actor, cohort=cohort)
         desc = pools[slot].acquire() if self.allow_nesting else pair[slot]
         # begin() runs before the cleanup guard: if it raises, the
         # descriptor is owned by another in-flight acquisition and must
@@ -134,6 +143,7 @@ class ALock(DistributedLock):
         self._note_acquired(ctx)
         ctx.trace("cs.enter", self.name)
 
+    @observed_release
     def unlock(self, ctx: "ThreadContext"):
         """Algorithm 2 ``Unlock(rdma_ptr<ALock>)``."""
         session = self._sessions.pop(ctx.gid, None)
@@ -177,8 +187,11 @@ class ALock(DistributedLock):
             return
         # Link behind the predecessor, then spin locally on our budget.
         yield from self._neighbor_write(ctx, prev + OFF_NEXT, desc.ptr)
+        sp = (ctx.spans.start(ctx.actor, MCS_QUEUE_WAIT, cohort="remote")
+              if ctx.spans.enabled else None)
         budget = yield from ctx.wait_local(
             desc.budget_ptr, lambda b: b != WAITING, signed=True)
+        ctx.spans.end(sp, budget=budget)
         self.passes["remote"] += 1
         ctx.trace("mcs.passed", f"{self.name} cohort=REMOTE budget={budget}")
         if budget == 0:
@@ -192,9 +205,12 @@ class ALock(DistributedLock):
         if old != desc.ptr:
             # A successor is enqueued (or still linking): wait for the
             # link, then pass the lock with a decremented budget.
+            sp = (ctx.spans.start(ctx.actor, COHORT_HANDOVER, cohort="remote")
+                  if ctx.spans.enabled else None)
             nxt = yield from ctx.wait_local(desc.next_ptr, lambda p: p != 0)
             budget = yield from ctx.read(desc.budget_ptr, signed=True)
             yield from self._neighbor_write(ctx, nxt + OFF_BUDGET, budget - 1)
+            ctx.spans.end(sp, budget=budget - 1)
             ctx.trace("mcs.pass", f"{self.name} cohort=REMOTE -> budget {budget - 1}")
         else:
             ctx.trace("mcs.release", f"{self.name} cohort=REMOTE tail cleared")
@@ -228,8 +244,11 @@ class ALock(DistributedLock):
             return
         # Predecessor is necessarily a thread on this same node.
         yield from ctx.write(prev + OFF_NEXT, desc.ptr)
+        sp = (ctx.spans.start(ctx.actor, MCS_QUEUE_WAIT, cohort="local")
+              if ctx.spans.enabled else None)
         budget = yield from ctx.wait_local(
             desc.budget_ptr, lambda b: b != WAITING, signed=True)
+        ctx.spans.end(sp, budget=budget)
         self.passes["local"] += 1
         ctx.trace("mcs.passed", f"{self.name} cohort=LOCAL budget={budget}")
         if budget == 0:
@@ -240,9 +259,12 @@ class ALock(DistributedLock):
     def _unlock_local(self, ctx: "ThreadContext", desc: Descriptor):
         old = yield from ctx.cas(self.tail_l_ptr, desc.ptr, 0)
         if old != desc.ptr:
+            sp = (ctx.spans.start(ctx.actor, COHORT_HANDOVER, cohort="local")
+                  if ctx.spans.enabled else None)
             nxt = yield from ctx.wait_local(desc.next_ptr, lambda p: p != 0)
             budget = yield from ctx.read(desc.budget_ptr, signed=True)
             yield from ctx.write(nxt + OFF_BUDGET, budget - 1)
+            ctx.spans.end(sp, budget=budget - 1)
             ctx.trace("mcs.pass", f"{self.name} cohort=LOCAL -> budget {budget - 1}")
         else:
             ctx.trace("mcs.release", f"{self.name} cohort=LOCAL tail cleared")

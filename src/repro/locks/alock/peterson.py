@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.locks.layout import COHORT_LOCAL, COHORT_REMOTE
+from repro.obs import PETERSON_COMPETE
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster import ThreadContext
@@ -36,6 +37,8 @@ def acquire_local(ctx: "ThreadContext", lock: "ALock"):
     event-driven on the two words — zero traffic while parked.
     """
     ctx.trace("peterson.enter", f"{lock.name} cohort=LOCAL")
+    sp = (ctx.spans.start(ctx.actor, PETERSON_COMPETE, cohort="local")
+          if ctx.spans.enabled else None)
     yield from ctx.write(lock.victim_ptr, COHORT_LOCAL)
     yield from ctx.fence()
 
@@ -50,6 +53,7 @@ def acquire_local(ctx: "ThreadContext", lock: "ALock"):
 
     why = yield from ctx.wait_local_cond(
         [lock.tail_r_ptr, lock.victim_ptr], check)
+    ctx.spans.end(sp, via=why)
     ctx.trace("peterson.acquired", f"{lock.name} cohort=LOCAL via {why}")
 
 
@@ -62,17 +66,21 @@ def acquire_remote(ctx: "ThreadContext", lock: "ALock"):
     the asymmetric reacquire cost the budget policy is tuned around.
     """
     ctx.trace("peterson.enter", f"{lock.name} cohort=REMOTE")
+    sp = (ctx.spans.start(ctx.actor, PETERSON_COMPETE, cohort="remote")
+          if ctx.spans.enabled else None)
     yield from ctx.r_write(lock.victim_ptr, COHORT_REMOTE)
     spins = 0
     while True:
         tail_l = yield from ctx.r_read(lock.tail_l_ptr)
         if tail_l == 0:
+            ctx.spans.end(sp, via="local-unlocked", spins=spins)
             ctx.trace("peterson.acquired",
                       f"{lock.name} cohort=REMOTE via local-unlocked "
                       f"after {spins} spins")
             return
         victim = yield from ctx.r_read(lock.victim_ptr)
         if victim != COHORT_REMOTE:
+            ctx.spans.end(sp, via="not-victim", spins=spins)
             ctx.trace("peterson.acquired",
                       f"{lock.name} cohort=REMOTE via not-victim "
                       f"after {spins} spins")

@@ -10,13 +10,44 @@ of the paper's artifact would assert.
 
 from __future__ import annotations
 
+import functools
 from abc import ABC, abstractmethod
 from typing import Callable, TYPE_CHECKING
 
 from repro.common.errors import ConfigError, ProtocolError
+from repro.obs import LOCK_ACQUIRE, LOCK_RELEASE
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster import Cluster, ThreadContext
+
+
+def _traced(span_name: str):
+    """Decorator factory wrapping a ``lock``/``unlock`` generator method
+    in a typed span + phase histogram sample.
+
+    Opt-in per implementation (the shipped locks use it); ``lock`` /
+    ``unlock`` remain the abstract override points, so user locks that
+    implement them directly — like the tutorial's TAS lock — stay
+    first-class, just unobserved.  With observability off the wrapper
+    returns the undecorated generator: one boolean check, no allocation,
+    no extra frame on the drive path.
+    """
+
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(self, ctx, *args, **kwargs):
+            inner = fn(self, ctx, *args, **kwargs)
+            if not (self._spans.enabled or self._obs_h is not None):
+                return inner
+            return self._observed_op(ctx, span_name, inner)
+        return wrapper
+    return deco
+
+
+#: wrap a lock implementation's ``lock`` in a ``lock.acquire`` span.
+observed_acquire = _traced(LOCK_ACQUIRE)
+#: wrap a lock implementation's ``unlock`` in a ``lock.release`` span.
+observed_release = _traced(LOCK_RELEASE)
 
 
 class DistributedLock(ABC):
@@ -33,8 +64,40 @@ class DistributedLock(ABC):
         self.name = name or f"{self.kind}@n{home_node}"
         self._holder_gid: int = 0
         self._holder_since: float = 0.0
+        # observability handles (see observed_acquire/observed_release)
+        obs = cluster.obs
+        self._spans = obs.spans
+        if obs.metrics.enabled:
+            self._obs_h = {
+                LOCK_ACQUIRE: obs.metrics.histogram(
+                    "lock.phase_ns", kind=self.kind, phase="acquire"),
+                LOCK_RELEASE: obs.metrics.histogram(
+                    "lock.phase_ns", kind=self.kind, phase="release"),
+            }
+        else:
+            self._obs_h = None
         # statistics
         self.acquisitions = 0
+
+    def _observed_op(self, ctx: "ThreadContext", span_name: str, inner):
+        """Drive ``inner`` under a span; record its duration.  Only
+        entered when some recorder is on (see :func:`_traced`)."""
+        rec = self._spans
+        sp = (rec.start(ctx.actor, span_name, lock=self.name,
+                        kind=self.kind, home=self.home_node)
+              if rec.enabled else None)
+        t0 = ctx.env.now
+        try:
+            result = yield from inner
+        except BaseException:
+            if sp is not None:
+                rec.end(sp, outcome="error")
+            raise
+        if sp is not None:
+            rec.end(sp, outcome="ok")
+        if self._obs_h is not None:
+            self._obs_h[span_name].observe(ctx.env.now - t0)
+        return result
 
     # -- protocol bookkeeping (not part of the simulated algorithm) -------
     def _note_acquired(self, ctx: "ThreadContext") -> None:

@@ -21,8 +21,14 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.common.errors import ConfigError, ProtocolError
-from repro.locks.base import DistributedLock, register_lock_type
+from repro.locks.base import (
+    DistributedLock,
+    observed_acquire,
+    observed_release,
+    register_lock_type,
+)
 from repro.locks.layout import MCS_DESCRIPTOR_LAYOUT, MCS_LAYOUT
+from repro.obs import MCS_QUEUE_WAIT
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster import Cluster, ThreadContext
@@ -90,6 +96,7 @@ class RdmaMcsLock(DistributedLock):
             if self.poll_interval_ns > 0:
                 yield ctx.env.timeout(self.poll_interval_ns)
 
+    @observed_acquire
     def lock(self, ctx: "ThreadContext"):
         if ctx.gid in self._sessions:
             raise ProtocolError(f"{ctx.actor} re-locking {self.name}")
@@ -111,13 +118,17 @@ class RdmaMcsLock(DistributedLock):
         prev = expected
         if prev != 0:
             yield from ctx.r_write(prev + OFF_NEXT, desc.ptr)
+            sp = (ctx.spans.start(ctx.actor, MCS_QUEUE_WAIT, loopback_poll=True)
+                  if ctx.spans.enabled else None)
             yield from self._poll(ctx, desc.locked_ptr, lambda v: v == 0)
+            ctx.spans.end(sp)
             self.passes += 1
         yield from ctx.fence()
         self._sessions[ctx.gid] = desc
         self._note_acquired(ctx)
         ctx.trace("cs.enter", self.name)
 
+    @observed_release
     def unlock(self, ctx: "ThreadContext"):
         desc = self._sessions.pop(ctx.gid, None)
         if desc is None:

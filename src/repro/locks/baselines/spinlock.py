@@ -18,7 +18,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.common.errors import ConfigError, ProtocolError
-from repro.locks.base import DistributedLock, register_lock_type
+from repro.locks.base import (
+    DistributedLock,
+    observed_acquire,
+    observed_release,
+    register_lock_type,
+)
 from repro.locks.layout import SPINLOCK_LAYOUT
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -43,6 +48,7 @@ class RdmaSpinlock(DistributedLock):
         # statistics
         self.cas_attempts = 0
 
+    @observed_acquire
     def lock(self, ctx: "ThreadContext"):
         attempts = 0
         while True:
@@ -61,6 +67,7 @@ class RdmaSpinlock(DistributedLock):
         self._note_acquired(ctx)
         ctx.trace("cs.enter", f"{self.name} after {attempts} rCAS")
 
+    @observed_release
     def unlock(self, ctx: "ThreadContext"):
         if self.holder_gid != ctx.gid:
             raise ProtocolError(f"{ctx.actor} unlocking {self.name} without holding it")

@@ -15,7 +15,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.common.errors import ConfigError, ProtocolError
-from repro.locks.base import DistributedLock, register_lock_type
+from repro.locks.base import (
+    DistributedLock,
+    observed_acquire,
+    observed_release,
+    register_lock_type,
+)
 from repro.memory.pointer import CACHE_LINE
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -52,6 +57,7 @@ class BakeryLock(DistributedLock):
             self._slots[ctx.gid] = slot
         return slot
 
+    @observed_acquire
     def lock(self, ctx: "ThreadContext"):
         me = self._slot_of(ctx)
         n = self.max_slots
@@ -83,6 +89,7 @@ class BakeryLock(DistributedLock):
         self._note_acquired(ctx)
         ctx.trace("cs.enter", f"{self.name} (bakery, ticket {my_ticket})")
 
+    @observed_release
     def unlock(self, ctx: "ThreadContext"):
         slot = self._slots.get(ctx.gid)
         if slot is None or self.holder_gid != ctx.gid:

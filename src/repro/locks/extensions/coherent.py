@@ -21,7 +21,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.common.errors import ProtocolError
-from repro.locks.base import DistributedLock, register_lock_type
+from repro.locks.base import (
+    DistributedLock,
+    observed_acquire,
+    observed_release,
+    register_lock_type,
+)
 from repro.locks.layout import SPINLOCK_LAYOUT
 from repro.rdma.config import RdmaConfig
 
@@ -57,6 +62,7 @@ class MixedAtomicLock(DistributedLock):
         self.overlap_oracle = 0
         self._in_cs = 0
 
+    @observed_acquire
     def lock(self, ctx: "ThreadContext"):
         local = ctx.is_local(self.word_ptr)
         while True:
@@ -78,6 +84,7 @@ class MixedAtomicLock(DistributedLock):
         self.acquisitions += 1
         ctx.trace("cs.enter", f"{self.name} (mixedcas)")
 
+    @observed_release
     def unlock(self, ctx: "ThreadContext"):
         if self._in_cs <= 0:
             raise ProtocolError(f"{ctx.actor} unlocking {self.name} without holding it")

@@ -22,7 +22,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.common.errors import ConfigError, ProtocolError
-from repro.locks.base import DistributedLock, register_lock_type
+from repro.locks.base import (
+    DistributedLock,
+    observed_acquire,
+    observed_release,
+    register_lock_type,
+)
 from repro.memory.pointer import CACHE_LINE
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -63,6 +68,7 @@ class FilterLock(DistributedLock):
             self._slots[ctx.gid] = slot
         return slot
 
+    @observed_acquire
     def lock(self, ctx: "ThreadContext"):
         me = self._slot_of(ctx)
         n = self.max_slots
@@ -89,6 +95,7 @@ class FilterLock(DistributedLock):
         self._note_acquired(ctx)
         ctx.trace("cs.enter", f"{self.name} (filter, slot {me})")
 
+    @observed_release
     def unlock(self, ctx: "ThreadContext"):
         slot = self._slots.get(ctx.gid)
         if slot is None or self.holder_gid != ctx.gid:

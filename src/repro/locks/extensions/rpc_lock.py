@@ -19,7 +19,12 @@ from collections import deque
 from typing import TYPE_CHECKING
 
 from repro.common.errors import ProtocolError
-from repro.locks.base import DistributedLock, register_lock_type
+from repro.locks.base import (
+    DistributedLock,
+    observed_acquire,
+    observed_release,
+    register_lock_type,
+)
 from repro.rdma.rpc import RpcRequest, RpcTransport
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -98,6 +103,7 @@ class RpcLock(DistributedLock):
         self.service = RpcLockService.shared(cluster)
         self.lock_id = self.service.new_lock_id()
 
+    @observed_acquire
     def lock(self, ctx: "ThreadContext"):
         reply = yield from self.service.transport.call(
             ctx.node_id, ctx.thread_id, self.home_node,
@@ -107,6 +113,7 @@ class RpcLock(DistributedLock):
         self._note_acquired(ctx)
         ctx.trace("cs.enter", f"{self.name} (rpc)")
 
+    @observed_release
     def unlock(self, ctx: "ThreadContext"):
         if self.holder_gid != ctx.gid:
             raise ProtocolError(f"{ctx.actor} unlocking {self.name} without holding it")

@@ -1,0 +1,79 @@
+"""repro.obs — deterministic observability for the simulated cluster.
+
+One package, four pieces:
+
+* :mod:`repro.obs.metrics` — counters / gauges / sim-time histograms in
+  a single queryable registry, plus pull-model collectors consolidating
+  the NIC, verb and fault counters;
+* :mod:`repro.obs.spans` — typed, nested trace spans over the sim clock
+  (``lock.acquire`` → ``peterson.compete`` → ``verb.rtt`` → ...);
+* :mod:`repro.obs.phases` — the lock-phase latency decomposition
+  (queue-wait / cross-cohort / critical-section / release) built on the
+  span tree;
+* :mod:`repro.obs.export` — Chrome/Perfetto trace-event JSON and flat
+  metrics JSON, byte-deterministic across ``PYTHONHASHSEED``.
+
+Everything is keyed to the simulated clock; nothing here reads wall
+time, allocates on the disabled hot path, or perturbs the simulation
+when enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import (
+    COHORT_HANDOVER,
+    FAULT_RETRY,
+    LOCK_ACQUIRE,
+    LOCK_RELEASE,
+    MCS_QUEUE_WAIT,
+    PETERSON_COMPETE,
+    VERB_RTT,
+    Span,
+    SpanRecorder,
+)
+from repro.sim.core import Environment
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """What to record.  The default records nothing and costs one
+    attribute read per instrumentation site."""
+
+    spans: bool = False
+    metrics: bool = False
+    span_capacity: int = 1 << 18
+
+    @property
+    def any_enabled(self) -> bool:
+        return self.spans or self.metrics
+
+
+#: convenience presets
+OBS_OFF = ObsConfig()
+OBS_FULL = ObsConfig(spans=True, metrics=True)
+
+
+class Observability:
+    """Per-cluster bundle: one span recorder + one metrics registry."""
+
+    def __init__(self, env: Environment, config: ObsConfig = OBS_OFF):
+        self.config = config
+        self.spans = SpanRecorder(env, capacity=config.span_capacity,
+                                  enabled=config.spans)
+        self.metrics = MetricsRegistry(enabled=config.metrics)
+
+    @property
+    def enabled(self) -> bool:
+        return self.spans.enabled or self.metrics.enabled
+
+
+__all__ = [
+    "COHORT_HANDOVER", "FAULT_RETRY", "LOCK_ACQUIRE", "LOCK_RELEASE",
+    "MCS_QUEUE_WAIT", "PETERSON_COMPETE", "VERB_RTT",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "ObsConfig", "OBS_OFF", "OBS_FULL", "Observability",
+    "Span", "SpanRecorder",
+]

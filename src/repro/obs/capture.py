@@ -1,0 +1,60 @@
+"""Capture plumbing: collect spans/metrics across workload runs.
+
+The experiments CLI wants one ``--trace-out`` flag to instrument *every*
+workload a whole experiment runs, without threading an argument through
+each experiment module.  :class:`ObsCapture` is that seam: the CLI
+activates a capture, ``run_workload`` consults :func:`active` to pick up
+the default observability config and appends each finished cluster's
+spans and metrics snapshot as a :class:`CapturedRun`, and the CLI
+exports the accumulated runs when done.
+
+The active-capture stack is explicit module state (not thread-local):
+the simulator is single-threaded and deterministic, and experiments run
+sequentially.  ``activate``/``deactivate`` nest for composability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.obs import ObsConfig
+from repro.obs.spans import Span
+
+
+@dataclass
+class CapturedRun:
+    """Spans + metrics snapshot of one cluster run, labelled for export."""
+
+    label: str
+    spans: list[Span] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+
+@dataclass
+class ObsCapture:
+    """Accumulates :class:`CapturedRun` entries while active."""
+
+    config: ObsConfig
+    runs: list[CapturedRun] = field(default_factory=list)
+
+    def add(self, label: str, spans: list[Span], metrics: dict) -> None:
+        self.runs.append(CapturedRun(label, spans, metrics))
+
+
+_ACTIVE: list[ObsCapture] = []
+
+
+def activate(capture: ObsCapture) -> ObsCapture:
+    _ACTIVE.append(capture)
+    return capture
+
+
+def deactivate(capture: ObsCapture) -> None:
+    if capture in _ACTIVE:
+        _ACTIVE.remove(capture)
+
+
+def active() -> Optional[ObsCapture]:
+    """The innermost active capture, or None."""
+    return _ACTIVE[-1] if _ACTIVE else None

@@ -1,0 +1,166 @@
+"""Typed trace spans: the protocol interior as a tree of timed intervals.
+
+A :class:`Span` is a named, sim-clock-timed interval attributed to one
+actor (``"t1@n0"``).  Spans nest: the recorder keeps one open-span stack
+per actor, so a verb issued while a lock acquisition is in flight
+becomes a *child* of that acquisition — one lock operation is a span
+tree (``lock.acquire`` → ``mcs.queue_wait`` / ``peterson.compete`` →
+``verb.rtt`` → ``fault.retry``).
+
+Span names are dotted and typed — the constants below are the
+vocabulary the locks, verbs and fault layer emit, and the phase
+decomposition (:mod:`repro.obs.phases`) and exporters
+(:mod:`repro.obs.export`) consume.
+
+Cost discipline: when the recorder is disabled (the default), call
+sites guard on :attr:`SpanRecorder.enabled` and skip the call entirely,
+so the hot path pays one attribute read and allocates nothing.  When
+enabled, all timing comes from ``env.now`` — recording never advances
+the simulation, so an instrumented run produces bit-identical timelines
+to an uninstrumented one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.core import Environment
+
+# -- span vocabulary --------------------------------------------------------
+#: one full lock acquisition: ``Lock()`` entry to critical-section entry.
+LOCK_ACQUIRE = "lock.acquire"
+#: one full release: ``Unlock()`` entry to return.
+LOCK_RELEASE = "lock.release"
+#: waiting in a cohort's MCS queue for the lock to be passed.
+MCS_QUEUE_WAIT = "mcs.queue_wait"
+#: competing in the modified Peterson's algorithm (cross-cohort wait).
+PETERSON_COMPETE = "peterson.compete"
+#: passing the lock to an MCS successor (wait-for-link + budget write).
+COHORT_HANDOVER = "cohort.handover"
+#: one one-sided verb, send doorbell to completion.
+VERB_RTT = "verb.rtt"
+#: one retransmission wait after an injected loss (watchdog timeout).
+FAULT_RETRY = "fault.retry"
+
+SPAN_NAMES = (LOCK_ACQUIRE, LOCK_RELEASE, MCS_QUEUE_WAIT, PETERSON_COMPETE,
+              COHORT_HANDOVER, VERB_RTT, FAULT_RETRY)
+
+
+@dataclass
+class Span:
+    """One timed interval.  ``end_ns is None`` while still open."""
+
+    span_id: int
+    parent_id: int  #: 0 = root (no enclosing span on this actor's stack)
+    name: str
+    actor: str
+    start_ns: float
+    end_ns: Optional[float] = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        return self.end_ns is not None
+
+    @property
+    def duration_ns(self) -> float:
+        if self.end_ns is None:
+            raise ValueError(f"span {self.name!r} (id {self.span_id}) still open")
+        return self.end_ns - self.start_ns
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        end = f"{self.end_ns:.1f}" if self.finished else "…"
+        return (f"[{self.start_ns:>12.1f}..{end} ns] {self.actor:<10} "
+                f"{self.name:<18} {self.attrs}")
+
+
+class SpanRecorder:
+    """Bounded collector of finished spans + per-actor open-span stacks.
+
+    Attributes:
+        enabled: master switch.  Call sites must check it before calling
+            :meth:`start` so the disabled path allocates nothing.
+        capacity: maximum retained *finished* spans (oldest dropped
+            first; :attr:`dropped` counts evictions).
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1 << 18,
+                 enabled: bool = False):
+        self.env = env
+        self.enabled = enabled
+        self.capacity = capacity
+        self._finished: deque = deque(maxlen=capacity)
+        self._open: dict[str, list[Span]] = {}
+        self._next_id = 1
+        self.dropped = 0
+
+    # -- recording ---------------------------------------------------------
+    def start(self, actor: str, name: str, **attrs) -> Optional[Span]:
+        """Open a span; it becomes the parent of later starts by the same
+        actor until ended.  Returns None when disabled (callers should
+        guard on :attr:`enabled` instead to skip the call outright)."""
+        if not self.enabled:
+            return None
+        stack = self._open.get(actor)
+        if stack is None:
+            stack = self._open[actor] = []
+        parent = stack[-1].span_id if stack else 0
+        span = Span(self._next_id, parent, name, actor, self.env.now,
+                    attrs=attrs)
+        self._next_id += 1
+        stack.append(span)
+        return span
+
+    def end(self, span: Optional[Span], **attrs) -> None:
+        """Close ``span`` at the current sim time.  ``None`` is a no-op so
+        callers can hold a maybe-disabled handle.  Any spans the actor
+        left open *above* this one (an aborted interior) are closed with
+        it, keeping the stack consistent after exceptions."""
+        if span is None:
+            return
+        stack = self._open.get(span.actor)
+        if stack and span in stack:
+            while stack:
+                top = stack.pop()
+                if top is span:
+                    break
+                self._finish(top, {"outcome": "abandoned"})
+        if attrs:
+            span.attrs.update(attrs)
+        self._finish(span, None)
+
+    def annotate(self, actor: str, **attrs) -> None:
+        """Attach attributes to the actor's innermost open span (no-op if
+        disabled or nothing is open)."""
+        if not self.enabled:
+            return
+        stack = self._open.get(actor)
+        if stack:
+            stack[-1].attrs.update(attrs)
+
+    def _finish(self, span: Span, extra: Optional[dict]) -> None:
+        span.end_ns = self.env.now
+        if extra:
+            span.attrs.update(extra)
+        if len(self._finished) == self._finished.maxlen:
+            self.dropped += 1
+        self._finished.append(span)
+
+    # -- access ------------------------------------------------------------
+    def spans(self) -> list[Span]:
+        """Finished spans, in end order."""
+        return list(self._finished)
+
+    def open_spans(self) -> list[Span]:
+        """Spans still open (e.g. clients abandoned mid-op at window end),
+        in deterministic (actor-insertion, stack) order."""
+        return [s for stack in self._open.values() for s in stack]
+
+    def __len__(self) -> int:
+        return len(self._finished)
+
+    def clear(self) -> None:
+        self._finished.clear()
+        self._open.clear()

@@ -46,10 +46,13 @@ from repro.faults.injector import FaultInjector
 from repro.memory.races import RaceAuditor
 from repro.memory.region import MemoryRegion, from_signed, to_signed
 from repro.memory.pointer import ptr_addr, ptr_node
+from repro.obs import FAULT_RETRY, VERB_RTT, Observability
 from repro.rdma.config import RdmaConfig
 from repro.rdma.nic import Rnic
 from repro.rdma.qp import qp_id
 from repro.sim.core import Environment
+
+_VERBS = ("rRead", "rWrite", "rCAS", "rFAA")
 
 
 class RdmaNetwork:
@@ -59,7 +62,8 @@ class RdmaNetwork:
                  regions: list[MemoryRegion],
                  auditor: Optional[RaceAuditor] = None,
                  jitter_rng: Optional[np.random.Generator] = None,
-                 injector: Optional[FaultInjector] = None):
+                 injector: Optional[FaultInjector] = None,
+                 obs: Optional[Observability] = None):
         self.env = env
         self.config = config
         self.regions = regions
@@ -67,6 +71,22 @@ class RdmaNetwork:
         self.nics = [Rnic(env, i, config.nic) for i in range(len(regions))]
         self._jitter_rng = jitter_rng
         self.injector = injector
+        # observability: span recorder handle + pre-built RTT histograms
+        # (None when disabled — the hot path checks one attribute).
+        self._spans = obs.spans if obs is not None else None
+        if obs is not None and obs.metrics.enabled:
+            self._h_rtt = {
+                (v, lb): obs.metrics.histogram(
+                    "verb.rtt_ns", verb=v,
+                    path="loopback" if lb else "fabric")
+                for v in _VERBS for lb in (False, True)
+            }
+        else:
+            self._h_rtt = None
+        # computed once: with everything off the verbs skip the
+        # _observed wrapper frame and run the exact pre-obs code path
+        self._obs_on = ((self._spans is not None and self._spans.enabled)
+                        or self._h_rtt is not None)
         # statistics
         self.verb_counts = {"rRead": 0, "rWrite": 0, "rCAS": 0, "rFAA": 0}
         self.loopback_verbs = 0
@@ -110,12 +130,15 @@ class RdmaNetwork:
         yield self.env.event()  # the packet is gone; nothing wakes us
 
     def _deliver(self, verb: str, src_node: int, dst: int, qp: tuple,
-                 src_nic: Rnic, loopback: bool, attempt):
+                 src_nic: Rnic, loopback: bool, attempt,
+                 actor: Optional[str] = None):
         """Run one verb, retransmitting through the fault layer.
 
         ``attempt`` is a zero-argument generator function performing the
         full fault-free round trip; it is invoked at most once (losses
         hang *instead of* executing, mirroring request-path drops).
+        ``actor`` is non-None only when span recording is on; each
+        retransmission wait then becomes a ``fault.retry`` child span.
         """
         inj = self.injector
         if inj is None:
@@ -130,18 +153,51 @@ class RdmaNetwork:
                 return (yield from attempt())
             # Dropped: the doomed transmission still occupies real NIC
             # resources; the requester times out and kills it mid-flight.
+            retry_sp = (self._spans.start(actor, FAULT_RETRY, verb=verb,
+                                          transmission=transmission)
+                        if actor is not None else None)
             ghost = self.env.process(
                 self._lost_transmission(qp, src_nic, loopback),
                 name=f"{verb}-lost-tx")
             yield self.env.timeout(timeout_ns)
             ghost.interrupt("verb-timeout")
             inj.note_retry(verb)
+            if retry_sp is not None:
+                self._spans.end(retry_sp, timeout_ns=timeout_ns)
             timeout_ns *= plan.retry_backoff
         inj.note_verb_timeout(verb)
         raise VerbTimeout(
             f"{verb} to node {dst} lost {plan.retry_limit} transmissions "
             f"(retry budget exhausted)",
             verb=verb, target_node=dst, attempts=plan.retry_limit)
+
+    def _observed(self, verb: str, src_node: int, src_thread: int, dst: int,
+                  qp: tuple, src_nic: Rnic, loopback: bool, attempt):
+        """Wrap one verb round trip in a ``verb.rtt`` span and RTT
+        histogram sample.  With observability off this adds two attribute
+        reads and no allocation."""
+        spans = self._spans
+        actor = None
+        sp = None
+        if spans is not None and spans.enabled:
+            actor = f"t{src_thread}@n{src_node}"
+            sp = spans.start(actor, VERB_RTT, verb=verb, dst=dst,
+                             loopback=loopback)
+        h = self._h_rtt
+        t0 = self.env.now if h is not None else 0.0
+        try:
+            result = yield from self._deliver(verb, src_node, dst, qp,
+                                              src_nic, loopback, attempt,
+                                              actor)
+        except VerbTimeout:
+            if sp is not None:
+                spans.end(sp, outcome="timeout")
+            raise
+        if sp is not None:
+            spans.end(sp, outcome="ok")
+        if h is not None:
+            h[(verb, loopback)].observe(self.env.now - t0)
+        return result
 
     # -- verbs -----------------------------------------------------------
     def r_read(self, src_node: int, src_thread: int, ptr: int,
@@ -162,8 +218,13 @@ class RdmaNetwork:
             yield from self._return_path(src_nic, loopback)
             return value
 
-        value = yield from self._deliver("rRead", src_node, dst, qp,
-                                         src_nic, loopback, attempt)
+        if self._obs_on:
+            value = yield from self._observed("rRead", src_node, src_thread,
+                                              dst, qp, src_nic, loopback,
+                                              attempt)
+        else:
+            value = yield from self._deliver("rRead", src_node, dst, qp,
+                                             src_nic, loopback, attempt)
         return to_signed(value) if signed else value
 
     def r_write(self, src_node: int, src_thread: int, ptr: int, value: int):
@@ -182,8 +243,12 @@ class RdmaNetwork:
                 qp, execute=lambda: region.remote_write(addr, value))
             yield from self._return_path(src_nic, loopback)
 
-        yield from self._deliver("rWrite", src_node, dst, qp,
-                                 src_nic, loopback, attempt)
+        if self._obs_on:
+            yield from self._observed("rWrite", src_node, src_thread, dst,
+                                      qp, src_nic, loopback, attempt)
+        else:
+            yield from self._deliver("rWrite", src_node, dst, qp, src_nic,
+                                     loopback, attempt)
 
     def _rmw(self, verb: str, src_node: int, src_thread: int, ptr: int,
              apply_fn, actor: str):
@@ -224,8 +289,12 @@ class RdmaNetwork:
             yield from self._return_path(src_nic, loopback)
             return old
 
-        old = yield from self._deliver(verb, src_node, dst, qp,
-                                       src_nic, loopback, attempt)
+        if self._obs_on:
+            old = yield from self._observed(verb, src_node, src_thread, dst,
+                                            qp, src_nic, loopback, attempt)
+        else:
+            old = yield from self._deliver(verb, src_node, dst, qp, src_nic,
+                                           loopback, attempt)
         return old
 
     def r_cas(self, src_node: int, src_thread: int, ptr: int,

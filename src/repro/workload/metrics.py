@@ -65,6 +65,12 @@ class RunResult:
     #: fault-layer counters (injector + lock-table recovery + client
     #: outcomes); empty when the run had no active FaultPlan.
     fault_stats: dict = field(default_factory=dict)
+    #: finished typed spans from the run's SpanRecorder (empty unless the
+    #: cluster was built with ObsConfig(spans=True)).
+    spans: list = field(default_factory=list)
+    #: MetricsRegistry.collect() tree snapshot taken at run end (empty
+    #: unless observability was enabled).
+    obs_metrics: dict = field(default_factory=dict)
 
     @property
     def retry_count(self) -> int:
@@ -120,9 +126,19 @@ class RunResult:
             ordered, probs = ordered[idx], probs[idx]
         return ordered, probs
 
+    def lock_ops(self) -> list:
+        """Phase-decomposed lock operations extracted from :attr:`spans`
+        (see :mod:`repro.obs.phases`); empty when spans were off."""
+        from repro.obs.phases import extract_operations
+
+        return extract_operations(self.spans)
+
     def summary_row(self) -> dict:
         """Flat dict for tabular experiment reports."""
+        from repro.workload.fairness import jain_index
+
         lat = self.latency
+        jain = jain_index(list(self.per_thread_ops.values()))
         row = {
             "lock": self.spec.lock_kind,
             "nodes": self.spec.n_nodes,
@@ -132,6 +148,8 @@ class RunResult:
             "throughput_ops": round(self.throughput_ops_per_sec),
             "lat_p50_ns": round(lat.p50) if lat.count else None,
             "lat_p99_ns": round(lat.p99) if lat.count else None,
+            "lat_p999_ns": round(lat.p999) if lat.count else None,
+            "jain": round(jain, 4) if jain == jain else None,
             "measured_ops": self.measured_ops,
             "loopback_verbs": self.loopback_verbs,
             "violations": self.atomicity_violations,

@@ -17,6 +17,8 @@ import numpy as np
 from repro.cluster import Cluster
 from repro.common.errors import SimulationError, VerbTimeout
 from repro.locktable import DistributedLockTable
+from repro.obs import ObsConfig
+from repro.obs import capture as obs_capture
 from repro.workload.generator import LockPicker
 from repro.workload.metrics import RunResult
 from repro.workload.spec import WorkloadSpec
@@ -35,8 +37,23 @@ def build_cluster(spec: WorkloadSpec, **cluster_kwargs) -> tuple[Cluster, Distri
     return cluster, table
 
 
-def run_workload(spec: WorkloadSpec, **cluster_kwargs) -> RunResult:
-    """Execute one workload run; deterministic for a given spec."""
+def run_workload(spec: WorkloadSpec, *, obs: "ObsConfig | None" = None,
+                 label: str = "", **cluster_kwargs) -> RunResult:
+    """Execute one workload run; deterministic for a given spec.
+
+    Args:
+        obs: observability config for the run's cluster.  When None, an
+            active :class:`~repro.obs.capture.ObsCapture` (the CLI's
+            ``--trace-out``/``--metrics-out`` seam) supplies one; when a
+            capture is active the run's spans + metrics snapshot are also
+            appended to it under ``label``.
+        label: capture label; defaults to a spec-derived one.
+    """
+    active_capture = obs_capture.active()
+    if obs is None and active_capture is not None:
+        obs = active_capture.config
+    if obs is not None:
+        cluster_kwargs.setdefault("obs", obs)
     cluster, table = build_cluster(spec, **cluster_kwargs)
     env = cluster.env
     duration_mode = spec.ops_per_thread == 0
@@ -142,6 +159,18 @@ def run_workload(spec: WorkloadSpec, **cluster_kwargs) -> RunResult:
         fault_stats["aborted_clients"] = completed["aborted_clients"]
         fault_stats["injected_cs_stalls"] = completed["injected_cs_stalls"]
 
+    spans: list = []
+    obs_metrics: dict = {}
+    if cluster.obs.enabled:
+        spans = cluster.obs.spans.spans()
+        obs_metrics = cluster.obs.metrics.collect()
+        if active_capture is not None:
+            active_capture.add(
+                label or (f"{spec.lock_kind}-n{spec.n_nodes}"
+                          f"x{spec.threads_per_node}-loc{spec.locality_pct}"
+                          f"-seed{spec.seed}"),
+                spans, obs_metrics)
+
     net_stats = cluster.network.stats()
     return RunResult(
         spec=spec,
@@ -156,4 +185,6 @@ def run_workload(spec: WorkloadSpec, **cluster_kwargs) -> RunResult:
         verb_counts=net_stats["verbs"],
         loopback_verbs=net_stats["loopback_verbs"],
         fault_stats=fault_stats,
+        spans=spans,
+        obs_metrics=obs_metrics,
     )

@@ -147,6 +147,25 @@ class TestTraceBuffer:
         assert len(buf.filtered(kind="mcs")) == 2
         assert len(buf.filtered(actor="a", kind="mcs")) == 1
 
+    def test_filtered_actor_prefix_match(self):
+        buf = TraceBuffer(enabled=True)
+        buf.emit(1.0, "t0@n0", "lock")
+        buf.emit(2.0, "t0@n1", "lock")
+        buf.emit(3.0, "t1@n0", "lock")
+        # prefix semantics: all of node-thread t0's events, any node
+        assert len(buf.filtered(actor="t0")) == 2
+        assert len(buf.filtered(actor="t0@n1")) == 1
+        assert len(buf.filtered(actor="t9")) == 0
+
+    def test_capacity_enforced_by_deque(self):
+        # the ring is a bounded deque, not a manually trimmed list
+        buf = TraceBuffer(capacity=2, enabled=True)
+        assert buf._events.maxlen == 2
+        for i in range(4):
+            buf.emit(float(i), "t", f"k{i}")
+        assert [e.kind for e in buf] == ["k2", "k3"]
+        assert len(buf) == 2
+
     def test_clear(self):
         buf = TraceBuffer(enabled=True)
         buf.emit(1.0, "t", "k")

@@ -1,0 +1,113 @@
+"""Unit tests for the typed span recorder."""
+
+import pytest
+
+from repro.obs import SpanRecorder
+from repro.obs.spans import LOCK_ACQUIRE, VERB_RTT
+from repro.sim import Environment
+
+
+def make_recorder(**kw):
+    env = Environment()
+    return env, SpanRecorder(env, **kw)
+
+
+class TestDisabled:
+    def test_start_returns_none(self):
+        _, rec = make_recorder(enabled=False)
+        assert rec.start("t0@n0", LOCK_ACQUIRE) is None
+        assert len(rec) == 0
+
+    def test_end_of_none_is_noop(self):
+        _, rec = make_recorder(enabled=False)
+        rec.end(None)  # must not raise
+        rec.end(None, outcome="ok")
+
+    def test_annotate_is_noop(self):
+        _, rec = make_recorder(enabled=False)
+        rec.annotate("t0@n0", cohort="local")
+        assert len(rec) == 0
+
+    def test_default_is_disabled(self):
+        _, rec = make_recorder()
+        assert not rec.enabled
+
+
+class TestRecording:
+    def test_span_times_from_sim_clock(self):
+        env, rec = make_recorder(enabled=True)
+        sp = rec.start("a", LOCK_ACQUIRE)
+        env._now = 150.0
+        rec.end(sp)
+        assert sp.start_ns == 0.0
+        assert sp.end_ns == 150.0
+        assert sp.duration_ns == 150.0
+
+    def test_nesting_assigns_parent(self):
+        _, rec = make_recorder(enabled=True)
+        outer = rec.start("a", LOCK_ACQUIRE)
+        inner = rec.start("a", VERB_RTT)
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id == 0
+        rec.end(inner)
+        rec.end(outer)
+        sibling = rec.start("a", VERB_RTT)
+        assert sibling.parent_id == 0
+
+    def test_actors_have_independent_stacks(self):
+        _, rec = make_recorder(enabled=True)
+        a = rec.start("a", LOCK_ACQUIRE)
+        b = rec.start("b", LOCK_ACQUIRE)
+        assert a.parent_id == 0 and b.parent_id == 0
+
+    def test_span_ids_monotonic_and_unique(self):
+        _, rec = make_recorder(enabled=True)
+        ids = [rec.start("a", VERB_RTT).span_id for _ in range(5)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+
+    def test_end_attrs_merge(self):
+        _, rec = make_recorder(enabled=True)
+        sp = rec.start("a", LOCK_ACQUIRE, lock="l1")
+        rec.end(sp, outcome="ok")
+        assert sp.attrs == {"lock": "l1", "outcome": "ok"}
+
+    def test_annotate_hits_innermost_open(self):
+        _, rec = make_recorder(enabled=True)
+        outer = rec.start("a", LOCK_ACQUIRE)
+        inner = rec.start("a", VERB_RTT)
+        rec.annotate("a", verb="rCAS")
+        assert "verb" in inner.attrs and "verb" not in outer.attrs
+
+    def test_ending_outer_closes_abandoned_inner(self):
+        """An exception may unwind past an open child; ending the parent
+        must close the child too (marked abandoned) so the stack stays
+        consistent."""
+        _, rec = make_recorder(enabled=True)
+        outer = rec.start("a", LOCK_ACQUIRE)
+        inner = rec.start("a", VERB_RTT)
+        rec.end(outer, outcome="error")
+        assert inner.finished
+        assert inner.attrs["outcome"] == "abandoned"
+        assert rec.open_spans() == []
+
+    def test_duration_of_open_span_raises(self):
+        _, rec = make_recorder(enabled=True)
+        sp = rec.start("a", LOCK_ACQUIRE)
+        with pytest.raises(ValueError):
+            _ = sp.duration_ns
+
+    def test_capacity_evicts_oldest(self):
+        _, rec = make_recorder(enabled=True, capacity=3)
+        for i in range(5):
+            rec.end(rec.start("a", VERB_RTT, i=i))
+        kept = [s.attrs["i"] for s in rec.spans()]
+        assert kept == [2, 3, 4]
+        assert rec.dropped == 2
+
+    def test_clear(self):
+        _, rec = make_recorder(enabled=True)
+        rec.end(rec.start("a", VERB_RTT))
+        rec.start("a", VERB_RTT)  # left open
+        rec.clear()
+        assert len(rec) == 0 and rec.open_spans() == []

@@ -1,0 +1,137 @@
+"""Hand-counted NIC and verb accounting.
+
+Scripted verb sequences where every counter value is derivable on paper:
+``verb_counts`` tallies one entry per verb call, each verb charges the
+requester NIC's send side (``tx_ops``) and the target NIC's receive side
+(``rx_ops``), and a loopback verb runs both sides on the *same* NIC plus
+one ``loopback_ops`` turnaround.  These are the numbers every experiment
+table reports and the obs metrics tree re-exports, so they get verified
+against a by-hand count at least once.
+"""
+
+from repro.memory import MemoryRegion, pack_ptr
+from repro.rdma import RdmaConfig, RdmaNetwork
+from repro.sim import Environment
+
+
+def make_net(n_nodes=3):
+    env = Environment()
+    regions = [MemoryRegion(env, i, 1 << 16) for i in range(n_nodes)]
+    net = RdmaNetwork(env, RdmaConfig(), regions)
+    return env, net, regions
+
+
+def run(env, gen):
+    p = env.process(gen)
+    env.run()
+    assert p.ok, p.value
+    return p.value
+
+
+class TestVerbCounts:
+    def test_mixed_sequence_hand_count(self):
+        """3 rRead + 2 rWrite + 2 rCAS + 1 rFAA, all node0 -> node1."""
+        env, net, regions = make_net()
+        ptr = pack_ptr(1, 128)
+
+        def proc():
+            for _ in range(2):
+                yield from net.r_write(0, 0, ptr, 7)
+            for _ in range(3):
+                yield from net.r_read(0, 0, ptr)
+            yield from net.r_cas(0, 0, ptr, 7, 8)
+            yield from net.r_cas(0, 0, ptr, 999, 1)   # failed CAS counts too
+            yield from net.r_faa(0, 0, ptr, 5)
+
+        run(env, proc())
+        assert net.verb_counts == {"rRead": 3, "rWrite": 2, "rCAS": 2,
+                                   "rFAA": 1}
+        assert net.loopback_verbs == 0
+        # 8 verbs total: requester sent 8, target received 8.
+        assert net.nics[0].tx_ops == 8
+        assert net.nics[0].rx_ops == 0
+        assert net.nics[1].rx_ops == 8
+        assert net.nics[1].tx_ops == 0
+        assert net.nics[2].tx_ops == net.nics[2].rx_ops == 0
+
+    def test_stats_tree_matches_counters(self):
+        env, net, _ = make_net()
+        ptr = pack_ptr(1, 64)
+
+        def proc():
+            yield from net.r_write(0, 0, ptr, 1)
+            yield from net.r_read(0, 0, ptr)
+
+        run(env, proc())
+        stats = net.stats()
+        assert stats["verbs"] == {"rRead": 1, "rWrite": 1, "rCAS": 0,
+                                  "rFAA": 0}
+        assert stats["loopback_verbs"] == 0
+        assert stats["nics"][0]["tx_ops"] == 2
+        assert stats["nics"][1]["rx_ops"] == 2
+
+
+class TestLoopbackAccounting:
+    def test_loopback_charges_both_sides_of_one_nic(self):
+        """A node targeting its own memory through the NIC (the §2
+        loopback anti-pattern) pays send + receive on its own NIC and
+        one turnaround per verb, and never touches other NICs."""
+        env, net, _ = make_net()
+        ptr = pack_ptr(0, 256)
+
+        def proc():
+            yield from net.r_write(0, 0, ptr, 3)
+            yield from net.r_cas(0, 0, ptr, 3, 4)
+            yield from net.r_read(0, 0, ptr)
+
+        run(env, proc())
+        assert net.loopback_verbs == 3
+        assert net.verb_counts == {"rRead": 1, "rWrite": 1, "rCAS": 1,
+                                   "rFAA": 0}
+        nic0 = net.nics[0]
+        assert nic0.tx_ops == 3
+        assert nic0.rx_ops == 3
+        assert nic0.loopback_ops == 3
+        assert net.nics[1].tx_ops == net.nics[1].rx_ops == 0
+
+    def test_mixed_local_remote_split(self):
+        env, net, _ = make_net()
+        remote = pack_ptr(1, 64)
+        local = pack_ptr(0, 64)
+
+        def proc():
+            yield from net.r_read(0, 0, remote)
+            yield from net.r_read(0, 0, local)
+            yield from net.r_read(0, 0, remote)
+
+        run(env, proc())
+        assert net.verb_counts["rRead"] == 3
+        assert net.loopback_verbs == 1
+        assert net.nics[0].tx_ops == 3            # requester always sends
+        assert net.nics[0].rx_ops == 1            # only the loopback lands here
+        assert net.nics[0].loopback_ops == 1
+        assert net.nics[1].rx_ops == 2
+
+
+class TestObsReexport:
+    def test_cluster_metrics_tree_reexports_network_stats(self):
+        """The metrics registry's 'network' collector must be the same
+        numbers as ``network.stats()`` — one source of truth."""
+        from repro.cluster import Cluster
+
+        cluster = Cluster(n_nodes=2, seed=1)
+        ctx = cluster.thread_ctx(node_id=0, thread_id=0)
+        ptr = pack_ptr(1, 512)
+
+        def proc():
+            yield from cluster.network.r_write(0, 0, ptr, 42)
+            yield from cluster.network.r_read(0, 0, ptr)
+
+        p = cluster.env.process(proc())
+        cluster.run()
+        assert p.ok
+        tree = cluster.obs.metrics.collect()
+        assert tree["network"] == cluster.network.stats()
+        assert tree["network"]["verbs"]["rWrite"] == 1
+        assert cluster.obs.metrics.query("network.verbs.rRead") == 1
+        assert ctx.local_op_count == 0

@@ -133,3 +133,7 @@ class TestMetrics:
         assert row["lock"] == "alock"
         assert row["violations"] == 0
         assert row["throughput_ops"] > 0
+        # fairness + deep tail live in every summary row
+        assert row["jain"] is not None and 0.0 < row["jain"] <= 1.0
+        assert row["lat_p999_ns"] is not None
+        assert row["lat_p999_ns"] >= row["lat_p99_ns"]
