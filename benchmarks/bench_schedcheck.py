@@ -1,0 +1,93 @@
+"""Benchmark of the schedule-exploration harness.
+
+Measures exploration throughput (schedules/second) for the policies the
+test suite leans on, plus the bug-hunt latencies for the three seeded
+lock defects — the constants the mutation tests pin down ("found within
+N schedules") should stay cheap enough to run in CI.
+"""
+
+from conftest import run_once
+
+from repro.schedcheck import (
+    LockScenario,
+    enumerate_schedules,
+    explore_random,
+    replay,
+    run_schedule,
+    shrink_failure,
+)
+
+ALOCK_SMALL = LockScenario(lock_kind="alock", n_nodes=2, threads_per_node=2,
+                           ops_per_thread=2, seed=5)
+
+
+def test_schedcheck_random_walk_rate(benchmark):
+    """Seeded random-walk schedules over the 4-client ALock scenario."""
+    n = 20
+
+    def run():
+        return explore_random(ALOCK_SMALL, n, seed=11)
+
+    report = run_once(benchmark, run)
+    assert report.schedules_run == n and report.ok_count == n
+    benchmark.extra_info["schedules_per_s"] = round(
+        n / benchmark.stats["mean"], 1)
+    benchmark.extra_info["distinct_executions"] = report.distinct_executions
+
+
+def test_schedcheck_pct_rate(benchmark):
+    """PCT priority schedules: same scenario, different policy cost."""
+    n = 20
+
+    def run():
+        return explore_random(ALOCK_SMALL, n, seed=11, policy="pct")
+
+    report = run_once(benchmark, run)
+    assert report.ok_count == n
+
+
+def test_schedcheck_dfs_enumeration(benchmark):
+    """Bounded exhaustive enumeration over the first choice points."""
+
+    def run():
+        return enumerate_schedules(ALOCK_SMALL, max_schedules=24,
+                                   max_choice_points=4)
+
+    report = run_once(benchmark, run)
+    assert report.schedules_run >= 1
+    benchmark.extra_info["distinct_executions"] = report.distinct_executions
+
+
+def test_schedcheck_replay_overhead(benchmark):
+    """Replaying a recorded schedule costs one run, and reproduces the
+    digest byte for byte."""
+    recorded = explore_random(ALOCK_SMALL, 3, seed=7)
+    probe = run_schedule(ALOCK_SMALL, None)
+
+    def run():
+        return replay(ALOCK_SMALL, probe.decisions)
+
+    result = run_once(benchmark, run)
+    assert result.digest == probe.digest
+    assert recorded.schedules_run == 3
+
+
+def test_schedcheck_bug_hunt_and_shrink(benchmark):
+    """End-to-end hunt on the seeded MCS lost-wakeup: explore until the
+    deadlock appears, then delta-debug the counterexample."""
+    scenario = LockScenario(lock_kind="mcs", n_nodes=1, threads_per_node=3,
+                            ops_per_thread=3, seed=0,
+                            lock_options=(("bug", "lost_wakeup"),
+                                          ("poll_interval_ns", 200.0)))
+
+    def run():
+        report = explore_random(scenario, 50, seed=1, stop_on_failure=True)
+        shrunk = shrink_failure(scenario, report.first_failure)
+        return report, shrunk
+
+    report, shrunk = run_once(benchmark, run)
+    assert report.first_failure is not None
+    assert shrunk.size <= 25
+    benchmark.extra_info["schedules_to_find"] = report.schedules_run
+    benchmark.extra_info["shrink_replays"] = shrunk.replays_used
+    benchmark.extra_info["shrunk_decisions"] = shrunk.size

@@ -5,6 +5,10 @@
     alock-experiments list
     alock-experiments run fig1 fig4 --scale small --out results.md
     alock-experiments run all --scale smoke
+    alock-experiments explore --lock alock --schedules 50 --shrink
+    alock-experiments explore --lock mcs --lock-option bug=lost_wakeup \\
+        --lock-option poll_interval_ns=200 --nodes 1 --threads 3 --ops 3
+    alock-experiments explore --replay "9:1" --lock alock ...
 """
 
 from __future__ import annotations
@@ -17,6 +21,73 @@ from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.obs import ObsConfig
 from repro.obs.capture import ObsCapture, activate, deactivate
 from repro.obs.export import write_metrics, write_trace
+
+
+def _parse_lock_options(pairs: list[str]) -> tuple:
+    """``["bug=lost_wakeup", "poll_interval_ns=200"]`` -> option tuple,
+    with numeric-looking values coerced."""
+    options = []
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--lock-option wants KEY=VALUE, got {pair!r}")
+        value: object = raw
+        try:
+            value = int(raw)
+        except ValueError:
+            try:
+                value = float(raw)
+            except ValueError:
+                pass
+        options.append((key, value))
+    return tuple(options)
+
+
+def _explore(args) -> int:
+    from repro.schedcheck import (
+        LockScenario,
+        enumerate_schedules,
+        explore_random,
+        replay,
+        shrink_failure,
+    )
+
+    scenario = LockScenario(
+        lock_kind=args.lock_kind, n_nodes=args.nodes,
+        threads_per_node=args.threads, n_locks=args.locks,
+        ops_per_thread=args.ops, pick=args.pick, cs_ns=args.cs_ns,
+        think_ns=args.think_ns, stagger_ns=args.stagger_ns,
+        lock_options=_parse_lock_options(args.lock_option),
+        seed=args.scenario_seed)
+
+    if args.replay is not None:
+        decisions = "" if args.replay == "-" else args.replay
+        result = replay(scenario, decisions)
+        print(result.summary())
+        return 0 if result.ok else 1
+
+    if args.policy == "dfs":
+        report = enumerate_schedules(
+            scenario, max_schedules=args.schedules,
+            max_choice_points=args.max_choice_points,
+            stop_on_failure=not args.keep_going)
+    else:
+        report = explore_random(
+            scenario, args.schedules, seed=args.seed, policy=args.policy,
+            change_points=args.change_points,
+            stop_on_failure=not args.keep_going)
+    print(report.summary())
+    failure = report.first_failure
+    if failure is None:
+        return 0
+    print(f"\nfirst failure (schedule {failure.schedule_index}):")
+    print(f"  {failure.summary()}")
+    if args.shrink:
+        shrunk = shrink_failure(scenario, failure)
+        print(f"  {shrunk.summary()}")
+        print(f"  replay with: --replay "
+              f"{shrunk.decisions.to_string() or '-'!r}")
+    return 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -41,7 +112,52 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("--metrics-out", default=None, metavar="FILE",
                        help="write the per-run metrics-registry snapshots "
                             "as flat JSON")
+    exp_p = sub.add_parser(
+        "explore",
+        help="schedule exploration: hunt interleaving bugs in the real "
+             "lock implementations")
+    exp_p.add_argument("--lock", default="alock", dest="lock_kind",
+                       help="registered lock kind (alock, mcs, spinlock, ...)")
+    exp_p.add_argument("--nodes", type=int, default=2)
+    exp_p.add_argument("--threads", type=int, default=2,
+                       help="threads per node")
+    exp_p.add_argument("--ops", type=int, default=4, help="ops per thread")
+    exp_p.add_argument("--locks", type=int, default=1)
+    exp_p.add_argument("--pick", default="single",
+                       choices=("single", "local", "remote", "mixed"))
+    exp_p.add_argument("--cs-ns", type=float, default=0.0)
+    exp_p.add_argument("--think-ns", type=float, default=0.0)
+    exp_p.add_argument("--stagger-ns", type=float, default=0.0)
+    exp_p.add_argument("--scenario-seed", type=int, default=0,
+                       help="cluster/workload seed (fixed across schedules)")
+    exp_p.add_argument("--lock-option", action="append", default=[],
+                       metavar="KEY=VALUE",
+                       help="extra lock-factory option; repeatable "
+                            "(e.g. bug=no_victim_check)")
+    exp_p.add_argument("--policy", default="random",
+                       choices=("random", "pct", "dfs"),
+                       help="random walk, PCT priorities, or bounded "
+                            "exhaustive enumeration")
+    exp_p.add_argument("--schedules", type=int, default=50,
+                       help="schedule budget")
+    exp_p.add_argument("--seed", type=int, default=1,
+                       help="exploration seed (random/pct)")
+    exp_p.add_argument("--change-points", type=int, default=3,
+                       help="PCT priority change points")
+    exp_p.add_argument("--max-choice-points", type=int, default=None,
+                       help="dfs: only permute the first K choice points")
+    exp_p.add_argument("--keep-going", action="store_true",
+                       help="do not stop at the first failing schedule")
+    exp_p.add_argument("--shrink", action="store_true",
+                       help="delta-debug the first failure down to a "
+                            "minimal decision string")
+    exp_p.add_argument("--replay", default=None, metavar="DECISIONS",
+                       help="skip exploration; replay this decision string "
+                            "('-' for the default schedule)")
     args = parser.parse_args(argv)
+
+    if args.command == "explore":
+        return _explore(args)
 
     if args.command == "list":
         for exp_id in EXPERIMENTS:

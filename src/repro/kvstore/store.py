@@ -81,6 +81,7 @@ class ShardedKVStore:
                              name=f"kv[{i}]@n{node}", **options)
             record_ptr = cluster.alloc_on(node, KV_RECORD.size)
             self.buckets.append(_Bucket(i, node, lock, record_ptr))
+        self._history = None
         # statistics
         self.gets = 0
         self.puts = 0
@@ -88,6 +89,12 @@ class ShardedKVStore:
         self.optimistic_gets = 0
         self.optimistic_retries = 0
         self.optimistic_fallbacks = 0
+
+    def attach_history(self, recorder) -> None:
+        """Record per-bucket get/put operations into a
+        :class:`repro.schedcheck.history.HistoryRecorder`; each bucket is
+        an independent register object for the linearizability checker."""
+        self._history = recorder
 
     # -- key mapping ---------------------------------------------------
     def bucket_of(self, key: int) -> int:
@@ -143,6 +150,8 @@ class ShardedKVStore:
         version).  Raises if the record is torn — which a correct lock
         makes impossible."""
         bucket = self.buckets[self.bucket_of(key)]
+        opid = (self._history.invoke(ctx.actor, f"kv[{bucket.index}]", "get")
+                if self._history is not None else None)
         yield from bucket.lock.lock(ctx)
         try:
             value, version, checksum = yield from self._read_record(ctx, bucket)
@@ -153,12 +162,17 @@ class ShardedKVStore:
                 f"torn read on bucket {bucket.index}: value={value} "
                 f"version={version} checksum={checksum}")
         self.gets += 1
+        if opid is not None:
+            self._history.respond(opid, value)
         return value, version
 
     def put(self, ctx: "ThreadContext", key: int, value: int):
         """Write ``key`` = value under its bucket lock; returns the new
         (even) version."""
         bucket = self.buckets[self.bucket_of(key)]
+        opid = (self._history.invoke(ctx.actor, f"kv[{bucket.index}]", "put",
+                                     (value,))
+                if self._history is not None else None)
         yield from bucket.lock.lock(ctx)
         try:
             _old, version, _ck = yield from self._read_record(ctx, bucket)
@@ -167,6 +181,8 @@ class ShardedKVStore:
         finally:
             yield from bucket.lock.unlock(ctx)
         self.puts += 1
+        if opid is not None:
+            self._history.respond(opid)
         return new_version
 
     def add(self, ctx: "ThreadContext", key: int, delta: int):

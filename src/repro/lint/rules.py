@@ -55,6 +55,7 @@ DEFAULT_SENSITIVE_PACKAGES: tuple[str, ...] = (
     "repro.memory",
     "repro.obs",
     "repro.verification",
+    "repro.schedcheck",
 )
 
 

@@ -78,22 +78,38 @@ class ALock(DistributedLock):
             per-thread pool instead, so a thread may hold several ALocks
             at once (lock-ordering discipline is the caller's job) — an
             extension used by the KV store's multi-bucket operations.
+        bug: opt-in seeded defect for the schedule-exploration harness
+            (see :data:`ALock.BUGS`); "" (default) is the correct
+            algorithm.  Never set outside mutation tests.
     """
 
     kind = "alock"
+
+    #: Seeded schedule-dependent defects (mutation-testing targets):
+    #: ``no_victim_check`` drops the victim clause from the local
+    #: leader's Peterson wait (classic deadlock when the victim word
+    #: settles on the other cohort); ``skip_budget_wait`` makes unlock
+    #: sample the successor link once instead of waiting for it,
+    #: abandoning the budget handoff when the successor is still inside
+    #: its swap-to-link window.
+    BUGS = ("no_victim_check", "skip_budget_wait")
 
     def __init__(self, cluster: "Cluster", home_node: int, name: str = "",
                  local_budget: int = DEFAULT_LOCAL_BUDGET,
                  remote_budget: int = DEFAULT_REMOTE_BUDGET,
                  strict_remote_rdma: bool = True,
-                 allow_nesting: bool = False):
+                 allow_nesting: bool = False, bug: str = ""):
         super().__init__(cluster, home_node, name)
         if local_budget < 1 or remote_budget < 1:
             raise ConfigError("budgets must be >= 1 (0 would deadlock the cohort)")
+        if bug and bug not in self.BUGS:
+            raise ConfigError(
+                f"unknown seeded bug {bug!r}; known: {', '.join(self.BUGS)}")
         self.local_budget = local_budget
         self.remote_budget = remote_budget
         self.strict_remote_rdma = strict_remote_rdma
         self.allow_nesting = allow_nesting
+        self.bug = bug
         self.base_ptr = cluster.alloc_on(home_node, ALOCK_LAYOUT.size)
         self.tail_r_ptr = ALOCK_LAYOUT.addr_of(self.base_ptr, "tail_r")
         self.tail_l_ptr = ALOCK_LAYOUT.addr_of(self.base_ptr, "tail_l")
@@ -205,6 +221,24 @@ class ALock(DistributedLock):
         if old != desc.ptr:
             # A successor is enqueued (or still linking): wait for the
             # link, then pass the lock with a decremented budget.
+            if self.bug == "skip_budget_wait":
+                # Seeded defect: sample the link once instead of waiting.
+                # Fires only when the unlock lands inside the successor's
+                # swap-to-link window — the successor then spins forever
+                # on a budget nobody will write.
+                nxt = yield from ctx.read(desc.next_ptr)
+                if nxt == 0:
+                    ctx.trace("mcs.release",
+                              f"{self.name} cohort=REMOTE handoff abandoned")
+                    desc.end()
+                    return
+                budget = yield from ctx.read(desc.budget_ptr, signed=True)
+                yield from self._neighbor_write(ctx, nxt + OFF_BUDGET,
+                                                budget - 1)
+                ctx.trace("mcs.pass",
+                          f"{self.name} cohort=REMOTE -> budget {budget - 1}")
+                desc.end()
+                return
             sp = (ctx.spans.start(ctx.actor, COHORT_HANDOVER, cohort="remote")
                   if ctx.spans.enabled else None)
             nxt = yield from ctx.wait_local(desc.next_ptr, lambda p: p != 0)
@@ -259,6 +293,20 @@ class ALock(DistributedLock):
     def _unlock_local(self, ctx: "ThreadContext", desc: Descriptor):
         old = yield from ctx.cas(self.tail_l_ptr, desc.ptr, 0)
         if old != desc.ptr:
+            if self.bug == "skip_budget_wait":
+                # Seeded defect: see _unlock_remote.
+                nxt = yield from ctx.read(desc.next_ptr)
+                if nxt == 0:
+                    ctx.trace("mcs.release",
+                              f"{self.name} cohort=LOCAL handoff abandoned")
+                    desc.end()
+                    return
+                budget = yield from ctx.read(desc.budget_ptr, signed=True)
+                yield from ctx.write(nxt + OFF_BUDGET, budget - 1)
+                ctx.trace("mcs.pass",
+                          f"{self.name} cohort=LOCAL -> budget {budget - 1}")
+                desc.end()
+                return
             sp = (ctx.spans.start(ctx.actor, COHORT_HANDOVER, cohort="local")
                   if ctx.spans.enabled else None)
             nxt = yield from ctx.wait_local(desc.next_ptr, lambda p: p != 0)

@@ -46,6 +46,13 @@ def acquire_local(ctx: "ThreadContext", lock: "ALock"):
         tail_r = yield from ctx.read(lock.tail_r_ptr)
         if tail_r == 0:
             return "remote-unlocked"
+        if lock.bug == "no_victim_check":
+            # Seeded defect: the not-victim clause is what lets the local
+            # leader proceed while the remote cohort is still queued; a
+            # leader without it waits for a fully-drained remote tail —
+            # forever, once the remote side is itself waiting on the
+            # victim word this leader will never rewrite.
+            return None
         victim = yield from ctx.read(lock.victim_ptr)
         if victim != COHORT_LOCAL:
             return "not-victim"

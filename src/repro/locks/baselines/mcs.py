@@ -69,16 +69,30 @@ class RdmaMcsLock(DistributedLock):
         poll_interval_ns: extra delay between loopback polls of the spin
             flag; 0 (default) polls back-to-back, self-throttled by the
             loopback latency itself.
+        bug: opt-in seeded defect for the schedule-exploration harness
+            (see :data:`RdmaMcsLock.BUGS`); "" (default) is the correct
+            algorithm.  Never set outside mutation tests.
     """
 
     kind = "mcs"
 
+    #: Seeded schedule-dependent defect: ``lost_wakeup`` replaces the
+    #: waiter's poll loop with check-then-park — the handoff write can
+    #: land inside the poll's loopback round trip, after the target
+    #: sampled the flag but before the waiter parks, and the waiter then
+    #: sleeps on a word that will never be written again.
+    BUGS = ("lost_wakeup",)
+
     def __init__(self, cluster: "Cluster", home_node: int, name: str = "",
-                 poll_interval_ns: float = 0.0):
+                 poll_interval_ns: float = 0.0, bug: str = ""):
         super().__init__(cluster, home_node, name)
         if poll_interval_ns < 0:
             raise ConfigError("poll_interval_ns must be >= 0")
+        if bug and bug not in self.BUGS:
+            raise ConfigError(
+                f"unknown seeded bug {bug!r}; known: {', '.join(self.BUGS)}")
         self.poll_interval_ns = poll_interval_ns
+        self.bug = bug
         self.base_ptr = cluster.alloc_on(home_node, MCS_LAYOUT.size)
         self.tail_ptr = MCS_LAYOUT.addr_of(self.base_ptr, "tail")
         self._sessions: dict[int, _McsDescriptor] = {}
@@ -95,6 +109,28 @@ class RdmaMcsLock(DistributedLock):
                 return value
             if self.poll_interval_ns > 0:
                 yield ctx.env.timeout(self.poll_interval_ns)
+
+    def _buggy_wait(self, ctx: "ThreadContext", desc: _McsDescriptor):
+        """Seeded ``lost_wakeup`` defect: poll the flag, then *park* on a
+        memory watcher armed only after the poll returned.  The handoff
+        rWrite can land during the poll's round trip — sampled too early
+        to be seen, landed too early to trip the watcher — and the waiter
+        sleeps forever (contrast ``wait_local``'s watcher-before-check
+        ordering, which makes the correct path lost-wakeup free)."""
+        from repro.memory.pointer import ptr_addr
+
+        region = ctx.cluster.regions[ctx.node_id]
+        while True:
+            value = yield from ctx.r_read(desc.locked_ptr)
+            self.spin_polls += 1
+            if value == 0:
+                return
+            if self.poll_interval_ns > 0:
+                # The throttle the correct path applies *between* polls
+                # here sits between the check and the park, stretching
+                # the unprotected window by a full backoff period.
+                yield ctx.env.timeout(self.poll_interval_ns)
+            yield region.watch(ptr_addr(desc.locked_ptr))  # armed too late
 
     @observed_acquire
     def lock(self, ctx: "ThreadContext"):
@@ -120,7 +156,10 @@ class RdmaMcsLock(DistributedLock):
             yield from ctx.r_write(prev + OFF_NEXT, desc.ptr)
             sp = (ctx.spans.start(ctx.actor, MCS_QUEUE_WAIT, loopback_poll=True)
                   if ctx.spans.enabled else None)
-            yield from self._poll(ctx, desc.locked_ptr, lambda v: v == 0)
+            if self.bug == "lost_wakeup":
+                yield from self._buggy_wait(ctx, desc)
+            else:
+                yield from self._poll(ctx, desc.locked_ptr, lambda v: v == 0)
             ctx.spans.end(sp)
             self.passes += 1
         yield from ctx.fence()

@@ -58,6 +58,7 @@ class DistributedLockTable:
         self.cluster = cluster
         self.lock_kind = lock_kind
         self.lease_ns = lease_ns
+        self._history = None
         # recovery / degraded-mode metrics
         self.lease_expirations = 0
         self.degraded_entries: set[int] = set()
@@ -125,18 +126,29 @@ class DistributedLockTable:
     def release(self, ctx: "ThreadContext", index: int):
         yield from self.entries[index].lock.unlock(ctx)
 
+    def attach_history(self, recorder) -> None:
+        """Record guarded-counter operations into a
+        :class:`repro.schedcheck.history.HistoryRecorder` — each
+        increment becomes an ``inc`` op returning the pre-increment
+        value, the input of the linearizability checker."""
+        self._history = recorder
+
     def guarded_increment(self, ctx: "ThreadContext", index: int):
         """Critical-section body: a deliberately non-atomic read-modify-
         write of the guarded counter, using the thread's natural API
         family.  Safe iff the lock provides mutual exclusion — lost
         updates surface in :meth:`check_counters`."""
         entry = self.entries[index]
+        opid = (self._history.invoke(ctx.actor, f"counter[{index}]", "inc")
+                if self._history is not None else None)
         if ctx.is_local(entry.counter_ptr):
             value = yield from ctx.read(entry.counter_ptr)
             yield from ctx.write(entry.counter_ptr, value + 1)
         else:
             value = yield from ctx.r_read(entry.counter_ptr)
             yield from ctx.r_write(entry.counter_ptr, value + 1)
+        if opid is not None:
+            self._history.respond(opid, value)
 
     # -- verification ---------------------------------------------------
     def counter_value(self, index: int) -> int:

@@ -191,12 +191,14 @@ class MemoryRegion:
         remote).  Value: ``(addr, raw_value)``."""
         idx = self._word_index(addr)
         ev = self.env.event()
+        ev.info = ("watch", f"n{self.node_id}", f"{addr:#x}")
         self._watchers.setdefault(idx, []).append(ev)
         return ev
 
     def watch_any(self, addrs: Iterable[int]) -> Event:
         """One-shot event fired by the next write to *any* of ``addrs``."""
         ev = self.env.event()
+        ev.info = ("watch", f"n{self.node_id}")
         for addr in addrs:
             idx = self._word_index(addr)
             self._watchers.setdefault(idx, []).append(ev)

@@ -1,0 +1,63 @@
+"""Schedule exploration for the simulated lock implementations.
+
+The engine dispatches same-time events in insertion order; this package
+systematically *permutes* those tie-breaks — the one degree of freedom a
+real machine has that a deterministic simulator normally erases — and
+checks every resulting execution against mutual-exclusion, budget,
+lost-update, race-audit and linearizability oracles.
+
+Workflow: pick a :class:`~repro.schedcheck.scenario.LockScenario`,
+explore with :func:`~repro.schedcheck.explore.explore_random` (seeded
+random walk or PCT priorities) or
+:func:`~repro.schedcheck.explore.enumerate_schedules` (bounded
+exhaustive), then :func:`~repro.schedcheck.shrink.shrink_failure` any
+failure down to a readable decision string and
+:func:`~repro.schedcheck.explore.replay` it at will — replays are
+byte-identical, across processes and hash seeds.
+"""
+
+from repro.schedcheck.checkers import (
+    check_budget_bounds,
+    check_cs_overlap,
+    check_linearizability,
+    run_all_checkers,
+)
+from repro.schedcheck.decisions import Decisions
+from repro.schedcheck.explore import (
+    ExplorationReport,
+    ScheduleResult,
+    enumerate_schedules,
+    execution_digest,
+    explore_random,
+    replay,
+    run_schedule,
+)
+from repro.schedcheck.history import HistoryRecorder, Op
+from repro.schedcheck.linearize import (
+    CounterModel,
+    KvModel,
+    check_history,
+    check_linearizable,
+)
+from repro.schedcheck.policies import (
+    FifoPolicy,
+    PctPolicy,
+    PrefixPolicy,
+    RandomWalkPolicy,
+    ReplayPolicy,
+    SchedulePolicy,
+    make_policy,
+)
+from repro.schedcheck.scenario import BuiltRun, LockScenario
+from repro.schedcheck.shrink import ShrinkResult, shrink_failure
+
+__all__ = [
+    "BuiltRun", "CounterModel", "Decisions", "ExplorationReport",
+    "FifoPolicy", "HistoryRecorder", "KvModel", "LockScenario", "Op",
+    "PctPolicy", "PrefixPolicy", "RandomWalkPolicy", "ReplayPolicy",
+    "SchedulePolicy", "ScheduleResult", "ShrinkResult",
+    "check_budget_bounds", "check_cs_overlap", "check_history",
+    "check_linearizability", "check_linearizable", "enumerate_schedules",
+    "execution_digest", "explore_random", "make_policy", "replay",
+    "run_all_checkers", "run_schedule", "shrink_failure",
+]

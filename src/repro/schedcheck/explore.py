@@ -1,0 +1,260 @@
+"""The explorer: run scenarios under policies, classify, replay.
+
+One *schedule* = one fresh build of a scenario run under one policy
+until every client finishes, the event heap drains (deadlock), or the
+scenario deadline passes (stall/livelock).  The run's tie-break choices
+are recorded as a sparse decision string; feeding that string back
+through :func:`replay` reproduces the execution byte for byte (same
+trace, same metrics, same digest) — the property the shrinker and the
+regression suite are built on.
+
+Failure taxonomy (``ScheduleResult.failure_kind``):
+
+* ``"exception"`` — a client process died (e.g. the holder oracle's
+  :class:`~repro.common.errors.ProtocolError` on a mutual-exclusion
+  violation).
+* ``"deadlock"``  — the heap drained with clients still alive (all
+  parked on events nobody will trigger); the detail names each stuck
+  process via :meth:`Environment.describe_alive`.
+* ``"stall"``     — the deadline passed with clients alive but events
+  still flowing: livelock or starvation.
+* ``"checker"``   — the run completed but a post-hoc checker rejected
+  it (CS overlap, budget bound, lost updates, race audit,
+  linearizability).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.rng import derive_seed
+from repro.schedcheck.decisions import Decisions
+from repro.schedcheck.checkers import run_all_checkers
+from repro.schedcheck.policies import (
+    PrefixPolicy,
+    ReplayPolicy,
+    SchedulePolicy,
+    make_policy,
+)
+
+#: trace lines kept on each result for failure reports
+TRACE_TAIL = 12
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one explored schedule."""
+
+    ok: bool
+    failure_kind: Optional[str] = None     # exception|deadlock|stall|checker
+    detail: str = ""
+    decisions: Decisions = field(default_factory=Decisions)
+    dense: tuple = ()                      # raw per-choice-point picks
+    fanouts: tuple = ()                    # ready-list size per choice point
+    events: int = 0
+    sim_time_ns: float = 0.0
+    digest: str = ""                       # trace+metrics fingerprint
+    trace_tail: tuple = ()
+    schedule_index: int = -1               # position within an exploration
+    policy_seed: Optional[int] = None
+
+    @property
+    def n_choice_points(self) -> int:
+        return len(self.dense)
+
+    def summary(self) -> str:
+        if self.ok:
+            return (f"ok: {self.n_choice_points} choice points, "
+                    f"{len(self.decisions)} non-default, "
+                    f"{self.events} events, {self.sim_time_ns:.0f} ns")
+        return (f"{self.failure_kind}: {self.detail} "
+                f"[decisions {self.decisions.to_string() or '(default)'}]")
+
+
+def execution_digest(cluster) -> str:
+    """Fingerprint of one finished execution: every trace line plus the
+    cluster's stats tree, hashed.  Two runs with equal digests performed
+    the same protocol steps at the same times with the same outcomes."""
+    h = hashlib.blake2b(digest_size=16)
+    for ev in cluster.tracer:
+        h.update(str(ev).encode())
+        h.update(b"\n")
+    h.update(json.dumps(cluster.stats(), sort_keys=True).encode())
+    return h.hexdigest()
+
+
+def run_schedule(scenario, policy: Optional[SchedulePolicy],
+                 schedule_index: int = -1,
+                 policy_seed: Optional[int] = None) -> ScheduleResult:
+    """Build the scenario fresh and run it to completion under ``policy``
+    (``None`` = the engine's un-policied fast path)."""
+    run = scenario.build()
+    env = run.cluster.env
+    env.set_schedule_policy(policy)
+    env.run(until=run.deadline_ns)
+
+    dense = tuple(env.schedule_decisions)
+    fanouts = tuple(env.schedule_fanouts)
+    result = ScheduleResult(
+        ok=True,
+        decisions=Decisions.from_dense(dense),
+        dense=dense, fanouts=fanouts,
+        events=env.event_count, sim_time_ns=env.now,
+        digest=execution_digest(run.cluster),
+        trace_tail=tuple(str(ev) for ev in list(run.cluster.tracer)[-TRACE_TAIL:]),
+        schedule_index=schedule_index, policy_seed=policy_seed)
+
+    failed = [p for p in run.processes if p.triggered and not p.ok]
+    alive = [p for p in run.processes if p.is_alive]
+    if failed:
+        p = failed[0]
+        result.ok = False
+        result.failure_kind = "exception"
+        result.detail = (f"{p.name} died: {type(p.value).__name__}: {p.value}"
+                         + (f" (+{len(failed) - 1} more)" if len(failed) > 1
+                            else ""))
+    elif alive:
+        drained = env.peek() == float("inf")
+        result.ok = False
+        result.failure_kind = "deadlock" if drained else "stall"
+        result.detail = (
+            f"{len(alive)}/{len(run.processes)} clients "
+            + ("parked with an empty schedule: " if drained
+               else f"still running at the {run.deadline_ns:.0f} ns deadline: ")
+            + env.describe_alive())
+    else:
+        problems = run_all_checkers(run.cluster.tracer, run.budgets,
+                                    run.history)
+        problems.extend(run.validate())
+        if problems:
+            result.ok = False
+            result.failure_kind = "checker"
+            result.detail = "; ".join(problems[:3]) + (
+                f" (+{len(problems) - 3} more)" if len(problems) > 3 else "")
+    return result
+
+
+def replay(scenario, decisions) -> ScheduleResult:
+    """Re-execute a recorded (possibly shrunk) decision string.
+
+    ``decisions`` may be a :class:`Decisions`, a mapping, or a rendered
+    string like ``"17:2,45:1"``.
+    """
+    if isinstance(decisions, str):
+        decisions = Decisions.parse(decisions)
+    return run_schedule(scenario, ReplayPolicy(decisions))
+
+
+@dataclass
+class ExplorationReport:
+    """Aggregate outcome of a bounded exploration."""
+
+    schedules_run: int = 0
+    ok_count: int = 0
+    distinct_executions: int = 0
+    failures: list = field(default_factory=list)   # ScheduleResult, capped
+    failure_counts: dict = field(default_factory=dict)  # kind -> count
+    #: cap on retained failure results (all are *counted*)
+    max_kept: int = 16
+
+    def record(self, result: ScheduleResult) -> None:
+        self.schedules_run += 1
+        if result.ok:
+            self.ok_count += 1
+        else:
+            kind = result.failure_kind
+            self.failure_counts[kind] = self.failure_counts.get(kind, 0) + 1
+            if len(self.failures) < self.max_kept:
+                self.failures.append(result)
+
+    @property
+    def first_failure(self) -> Optional[ScheduleResult]:
+        return self.failures[0] if self.failures else None
+
+    def summary(self) -> str:
+        base = (f"{self.schedules_run} schedules: {self.ok_count} ok, "
+                f"{self.schedules_run - self.ok_count} failed, "
+                f"{self.distinct_executions} distinct executions")
+        if self.failure_counts:
+            kinds = ", ".join(f"{k}={v}" for k, v in
+                              sorted(self.failure_counts.items()))
+            base += f" ({kinds})"
+        return base
+
+
+def explore_random(scenario, n_schedules: int, seed: int = 0,
+                   policy: str = "random", change_points: int = 3,
+                   horizon: int = 500,
+                   stop_on_failure: bool = False) -> ExplorationReport:
+    """Run ``n_schedules`` independently seeded random (or PCT)
+    schedules.  Schedule ``i``'s policy seed is
+    ``derive_seed(seed, "schedcheck", "explore", i)`` — the whole
+    exploration is reproducible from ``seed`` alone.
+    """
+    report = ExplorationReport()
+    digests = set()
+    for i in range(n_schedules):
+        pseed = derive_seed(seed, "schedcheck", "explore", i)
+        pol = make_policy(policy, pseed, change_points=change_points,
+                          horizon=horizon)
+        result = run_schedule(scenario, pol, schedule_index=i,
+                              policy_seed=pseed)
+        digests.add(result.digest)
+        report.record(result)
+        if stop_on_failure and not result.ok:
+            break
+    report.distinct_executions = len(digests)
+    return report
+
+
+def enumerate_schedules(scenario, max_schedules: int = 256,
+                        max_choice_points: Optional[int] = None,
+                        stop_on_failure: bool = False) -> ExplorationReport:
+    """Bounded exhaustive enumeration (CHESS-style iterative DFS).
+
+    Schedules are visited in lexicographic order of their dense decision
+    vectors: each run extends the current forced prefix with defaults,
+    then the deepest incrementable position (bounded by
+    ``max_choice_points``) is bumped to produce the next prefix.  For
+    tiny configurations this covers the entire tie-break tree; the
+    report's ``distinct_executions`` tells you when the space was larger
+    than the budget.
+
+    Args:
+        max_schedules: hard cap on runs.
+        max_choice_points: only permute the first K choice points
+            (``None`` = all — feasible only for very small scenarios).
+    """
+    report = ExplorationReport()
+    digests = set()
+    prefix: list[int] = []
+    exhausted = False
+    while not exhausted and report.schedules_run < max_schedules:
+        result = run_schedule(scenario, PrefixPolicy(prefix),
+                              schedule_index=report.schedules_run)
+        digests.add(result.digest)
+        report.record(result)
+        if stop_on_failure and not result.ok:
+            break
+        dense, fanouts = list(result.dense), result.fanouts
+        limit = len(dense)
+        if max_choice_points is not None:
+            limit = min(limit, max_choice_points)
+        i = limit - 1
+        while i >= 0 and dense[i] + 1 >= fanouts[i]:
+            i -= 1
+        if i < 0:
+            exhausted = True
+        else:
+            prefix = dense[:i] + [dense[i] + 1]
+    report.distinct_executions = len(digests)
+    return report
+
+
+__all__ = [
+    "ScheduleResult", "ExplorationReport", "execution_digest",
+    "run_schedule", "replay", "explore_random", "enumerate_schedules",
+]

@@ -1,0 +1,227 @@
+"""Scenario builders: the workloads the explorer drives.
+
+A *scenario* is a recipe that builds a fresh cluster + clients for every
+schedule: exploration mutates nothing between runs, it only installs a
+different tie-break policy on the new environment.  The standard
+:class:`LockScenario` mirrors the lock test-suite's stress harness
+(clients doing acquire → guarded increment → release against a lock
+table) with the knobs that matter for interleaving coverage: per-client
+start stagger, critical-section dwell, think time, and the lock picker.
+
+Anything with a ``build() -> BuiltRun`` method works as a scenario, so
+tests can hand the explorer bespoke process soups too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cluster import Cluster
+from repro.common.errors import ConfigError
+from repro.locktable import DistributedLockTable
+from repro.rdma.config import CostModel, FabricConfig, NicConfig, RdmaConfig
+from repro.schedcheck.history import HistoryRecorder
+from repro.sim.core import Process
+
+
+def coarse_config() -> RdmaConfig:
+    """A tie-friendly cost model for schedule exploration.
+
+    The calibrated CX-3 model uses deliberately unequal constants
+    (55/60/95/... ns), so concurrent operations almost never finish at
+    the same simulated instant and the tie-break tree the explorer
+    permutes is tiny.  Exploration scenarios instead quantize every cost
+    to a 100 ns grid: racing operations now *tie* exactly when a real
+    machine would have them in flight together, which is what turns
+    same-time reordering into genuine race coverage.  Ratios (remote ≈
+    20× local) are preserved, so protocol behaviour is unchanged.
+    """
+    return RdmaConfig(
+        nic=NicConfig(tx_service_ns=200.0, rx_service_ns=200.0,
+                      atomic_window_ns=200.0, pcie_crossing_ns=100.0,
+                      qpc_miss_penalty_ns=400.0,
+                      loopback_turnaround_ns=1000.0),
+        fabric=FabricConfig(one_way_latency_ns=800.0, jitter_ns=0.0),
+        cpu=CostModel(local_read_ns=100.0, local_write_ns=200.0,
+                      local_cas_ns=100.0, fence_ns=100.0,
+                      spin_recheck_ns=100.0))
+
+
+@dataclass
+class BuiltRun:
+    """One freshly-built execution, ready to run under a policy."""
+
+    cluster: Cluster
+    processes: list[Process]
+    table: Optional[DistributedLockTable] = None
+    history: Optional[HistoryRecorder] = None
+    expected_ops: int = 0
+    deadline_ns: float = 0.0
+    #: lock name -> (home_node, local_budget, remote_budget) for the
+    #: budget-bound checker (only budgeted locks appear).
+    budgets: dict = field(default_factory=dict)
+
+    def validate(self) -> list[str]:
+        """Post-run invariant checks (beyond the trace checkers):
+        guarded-counter conservation and the Table-1 race audit."""
+        problems = []
+        if self.table is not None and self.expected_ops:
+            try:
+                self.table.check_counters(self.expected_ops)
+            except AssertionError as exc:
+                problems.append(str(exc))
+        audit = self.cluster.auditor
+        if audit.mode != "off" and audit.violation_count:
+            problems.append(
+                f"race auditor recorded {audit.violation_count} Table-1 "
+                f"violation(s): {audit.violations[0]}")
+        return problems
+
+
+def _pick_single(node, thread, op, table):
+    return 0
+
+
+def _pick_local(node, thread, op, table):
+    indices = table.local_indices(node)
+    return indices[op % len(indices)]
+
+
+def _pick_remote(node, thread, op, table):
+    indices = table.remote_indices(node)
+    return indices[(op + thread) % len(indices)]
+
+
+def _pick_mixed(node, thread, op, table):
+    if op % 2 == 0:
+        return _pick_local(node, thread, op, table)
+    return _pick_remote(node, thread, op, table)
+
+
+PICKERS: dict[str, Callable] = {
+    "single": _pick_single,
+    "local": _pick_local,
+    "remote": _pick_remote,
+    "mixed": _pick_mixed,
+}
+
+
+@dataclass(frozen=True)
+class LockScenario:
+    """Closed-loop lock-table clients, one per (node, thread).
+
+    Args:
+        lock_kind: registered lock type ("alock", "mcs", "spinlock", ...).
+        n_nodes / threads_per_node / n_locks / ops_per_thread: shape.
+        pick: lock-choice pattern, one of ``single | local | remote |
+            mixed`` (``single`` = everyone on lock 0: maximal logical
+            contention and the densest tie-break choice points).
+        cs_ns: dwell inside the critical section before the increment.
+        think_ns: idle gap between operations.
+        stagger_ns: client ``k`` starts at ``k * stagger_ns`` — breaks
+            the time-0 symmetry when a scenario needs the default
+            schedule to be quiet.
+        lock_options: extra lock-factory options as a ``(("k", v), ...)``
+            tuple (hashable; e.g. ``(("bug", "lost_wakeup"),)``).
+        seed / audit: forwarded to the cluster.
+        record_history: attach a :class:`HistoryRecorder` to the table
+            (feeds the linearizability checker).
+        deadline_ns: sim-time budget; 0 derives a generous bound from
+            the shape.  A run with live clients at the deadline is
+            reported as a stall (livelock or starvation).
+    """
+
+    lock_kind: str = "alock"
+    n_nodes: int = 2
+    threads_per_node: int = 2
+    n_locks: int = 1
+    ops_per_thread: int = 4
+    pick: str = "single"
+    cs_ns: float = 0.0
+    think_ns: float = 0.0
+    stagger_ns: float = 0.0
+    lock_options: tuple = ()
+    seed: int = 0
+    audit: str = "record"
+    record_history: bool = True
+    deadline_ns: float = 0.0
+    #: quantized cost model (see :func:`coarse_config`); False runs the
+    #: calibrated CX-3 model, where same-time ties are rare.
+    coarse_time: bool = True
+
+    def __post_init__(self) -> None:
+        if self.pick not in PICKERS:
+            raise ConfigError(
+                f"unknown picker {self.pick!r}; known: {sorted(PICKERS)}")
+        if self.ops_per_thread < 1:
+            raise ConfigError("ops_per_thread must be >= 1")
+
+    @property
+    def n_clients(self) -> int:
+        return self.n_nodes * self.threads_per_node
+
+    @property
+    def expected_ops(self) -> int:
+        return self.n_clients * self.ops_per_thread
+
+    def _auto_deadline(self) -> float:
+        per_op = 60_000.0 + 10.0 * (self.cs_ns + self.think_ns)
+        return (self.expected_ops * per_op
+                + self.n_clients * self.stagger_ns + 1_000_000.0)
+
+    def build(self) -> BuiltRun:
+        n_locks = max(self.n_locks, self.n_nodes)
+        cluster = Cluster(self.n_nodes, seed=self.seed, audit=self.audit,
+                          trace=True,
+                          config=coarse_config() if self.coarse_time else None)
+        table = DistributedLockTable(cluster, n_locks, self.lock_kind,
+                                     lock_options=dict(self.lock_options))
+        history = None
+        if self.record_history:
+            history = HistoryRecorder(cluster.env)
+            table.attach_history(history)
+        picker = PICKERS[self.pick]
+        env = cluster.env
+
+        def client(node: int, thread: int, order: int):
+            ctx = cluster.thread_ctx(node, thread)
+            if self.stagger_ns > 0 and order > 0:
+                yield env.timeout(order * self.stagger_ns)
+            for op in range(self.ops_per_thread):
+                idx = picker(node, thread, op, table)
+                # No try/finally release: a client that dies mid-CS must
+                # LEAVE the lock held so the failure is observable (the
+                # explorer classifies the dead client and the checkers
+                # see the unreleased lock); cleanup would mask the bug.
+                yield from table.acquire(ctx, idx)  # simlint: ignore[resource-guard]
+                if self.cs_ns > 0:
+                    yield env.timeout(self.cs_ns)
+                yield from table.guarded_increment(ctx, idx)
+                yield from table.release(ctx, idx)
+                if self.think_ns > 0:
+                    yield env.timeout(self.think_ns)
+
+        processes = []
+        order = 0
+        for node in range(self.n_nodes):
+            for thread in range(self.threads_per_node):
+                processes.append(env.process(
+                    client(node, thread, order),
+                    name=f"client-n{node}t{thread}"))
+                order += 1
+
+        budgets = {}
+        for entry in table.entries:
+            lock = entry.lock
+            if hasattr(lock, "local_budget"):
+                budgets[lock.name] = (lock.home_node, lock.local_budget,
+                                      lock.remote_budget)
+        return BuiltRun(
+            cluster=cluster, processes=processes, table=table,
+            history=history, expected_ops=self.expected_ops,
+            deadline_ns=self.deadline_ns or self._auto_deadline(),
+            budgets=budgets)
+
+
+__all__ = ["BuiltRun", "LockScenario", "PICKERS"]

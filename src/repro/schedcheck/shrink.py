@@ -1,0 +1,148 @@
+"""Delta-debugging shrinker for failing decision strings.
+
+A random or PCT schedule that exposes a bug typically carries dozens of
+non-default tie-break decisions, almost all irrelevant.  The shrinker
+minimizes the *sparse* decision string (Zeller's ddmin over its entries,
+then a per-entry value-lowering pass) under the predicate "replaying it
+still produces the same failure kind".  Because entries are keyed by
+absolute choice-point index, removing one leaves the rest attached to
+the same points — the run is identical up to the first remaining entry,
+which is what makes removal chunks mostly independent.
+
+The result is a counterexample small enough to read: each surviving
+entry is one forced race outcome, and the rendered trace around those
+points is the bug's story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.schedcheck.decisions import Decisions
+from repro.schedcheck.explore import ScheduleResult, replay
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of a shrink: the minimized string and its replay."""
+
+    decisions: Decisions
+    result: ScheduleResult
+    replays_used: int = 0
+    start_size: int = 0
+    #: (size, decision string) after every successful reduction
+    steps: list = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.decisions)
+
+    def summary(self) -> str:
+        return (f"shrunk {self.start_size} -> {self.size} decisions in "
+                f"{self.replays_used} replays: "
+                f"{self.decisions.to_string() or '(default schedule)'}")
+
+
+def shrink_failure(scenario, failure: ScheduleResult,
+                   max_replays: int = 400) -> ShrinkResult:
+    """Minimize ``failure.decisions`` while preserving its failure kind.
+
+    Args:
+        scenario: the scenario the failure came from (rebuilt per replay).
+        failure: a non-ok :class:`ScheduleResult`.
+        max_replays: replay budget; shrinking stops early when spent.
+
+    Returns the smallest failing string found (1-minimal w.r.t. entry
+    removal when the budget sufficed).
+    """
+    if failure.ok:
+        raise ValueError("cannot shrink a passing schedule")
+    target_kind = failure.failure_kind
+
+    state = {"replays": 0, "result": failure}
+
+    def still_fails(candidate: Decisions) -> bool:
+        if state["replays"] >= max_replays:
+            return False
+        state["replays"] += 1
+        r = replay(scenario, candidate)
+        if not r.ok and r.failure_kind == target_kind:
+            state["result"] = r
+            return True
+        return False
+
+    current = failure.decisions
+    steps = [(len(current), current.to_string())]
+
+    # Phase 0: if the failure does not need any intervention (the
+    # scenario fails under the default schedule too), the answer is the
+    # empty string.
+    if current and still_fails(Decisions()):
+        current = Decisions()
+        steps.append((0, ""))
+        return ShrinkResult(decisions=current, result=state["result"],
+                            replays_used=state["replays"],
+                            start_size=len(failure.decisions), steps=steps)
+
+    # Phase 1: ddmin over the entry set.  Try removing complement of
+    # each chunk (i.e. keeping only the chunk), then removing each chunk;
+    # on success restart at coarse granularity, else refine.
+    n_chunks = 2
+    while len(current) > 1 and state["replays"] < max_replays:
+        keys = [k for k, _v in current.items()]
+        n_chunks = min(n_chunks, len(keys))
+        chunk_size = (len(keys) + n_chunks - 1) // n_chunks
+        chunks = [keys[i:i + chunk_size]
+                  for i in range(0, len(keys), chunk_size)]
+        reduced = False
+        # try each chunk alone (fast path to tiny strings)
+        for chunk in chunks:
+            if len(chunk) == len(keys):
+                continue
+            candidate = current.without(k for k in keys if k not in chunk)
+            if still_fails(candidate):
+                current = candidate
+                steps.append((len(current), current.to_string()))
+                n_chunks = 2
+                reduced = True
+                break
+        if reduced:
+            continue
+        # try deleting each chunk
+        for chunk in chunks:
+            if len(chunk) == len(keys):
+                continue
+            candidate = current.without(chunk)
+            if still_fails(candidate):
+                current = candidate
+                steps.append((len(current), current.to_string()))
+                n_chunks = max(2, n_chunks - 1)
+                reduced = True
+                break
+        if reduced:
+            continue
+        if n_chunks >= len(keys):
+            break  # 1-minimal
+        n_chunks = min(len(keys), 2 * n_chunks)
+
+    # Phase 2: lower surviving values toward the default (a forced pick
+    # of ready index 1 reads better than index 7; try 1, then halves).
+    for key, value in list(current.items()):
+        if state["replays"] >= max_replays:
+            break
+        for smaller in sorted({1, value // 2}):
+            if smaller >= value or smaller < 1:
+                continue
+            candidate = current.replace(key, smaller)
+            if still_fails(candidate):
+                current = candidate
+                steps.append((len(current), current.to_string()))
+                break
+
+    return ShrinkResult(decisions=current, result=state["result"],
+                        replays_used=state["replays"],
+                        start_size=len(failure.decisions), steps=steps)
+
+
+__all__ = ["ShrinkResult", "shrink_failure"]

@@ -49,9 +49,13 @@ class Event:
     (callbacks ran).  Waiting on an already-processed event resumes the
     waiter immediately (scheduled at the current time, preserving the
     global event order).
+
+    ``info`` is an optional ``(kind, detail)`` label set by whoever hands
+    the event out (resources, stores, memory watchers).  It feeds the
+    deadlock diagnostics only — never simulation state.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "info")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -59,6 +63,7 @@ class Event:
         self._value: Any = PENDING
         self._ok: bool = True
         self._scheduled = False
+        self.info: Optional[tuple] = None
 
     # -- state ----------------------------------------------------------
     @property
@@ -157,7 +162,7 @@ class Process(Event):
     """Wraps a generator; the process *is* an event that triggers when the
     generator returns (value = its ``return`` value) or raises."""
 
-    __slots__ = ("_generator", "_waiting_on", "name")
+    __slots__ = ("_generator", "_waiting_on", "name", "pid", "last_resumed_at")
 
     def __init__(self, env: "Environment", generator: Generator, name: str = ""):
         if not hasattr(generator, "send"):
@@ -166,6 +171,10 @@ class Process(Event):
         self._generator = generator
         self._waiting_on: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
+        #: creation-order id — stable identity for schedule policies and
+        #: deadlock reports (never an address).
+        self.pid = env._register_process(self)
+        self.last_resumed_at = env._now
         # Kick off at the current time.
         boot = Event(env)
         boot._value = None
@@ -199,6 +208,7 @@ class Process(Event):
 
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
+        self.last_resumed_at = self.env._now
         gen = self._generator
         self.env._active_process = self
         try:
@@ -243,6 +253,17 @@ class Process(Event):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+def _describe_wait(event: Optional[Event]) -> str:
+    """Human-readable description of what a parked process waits on,
+    using :attr:`Event.info` labels when the issuer set one."""
+    if event is None:
+        return "nothing (never parked or mid-interrupt)"
+    if event.info is not None:
+        kind, *detail = event.info
+        return f"{kind}({', '.join(str(d) for d in detail)})"
+    return type(event).__name__
 
 
 class _Condition(Event):
@@ -309,6 +330,12 @@ class Environment:
     ``run(until=...)`` processes events in ``(time, seq)`` order.  ``seq``
     is a global insertion counter, so simultaneous events run in the order
     they were scheduled — fully deterministic.
+
+    A *schedule policy* (see :mod:`repro.schedcheck`) may be installed to
+    override the same-time tie-break: at each step where several events
+    are ready at the minimum time, the policy picks which one runs.  With
+    no policy installed (the default) the dispatch loop is untouched, and
+    the trivial first-ready policy reproduces it decision for decision.
     """
 
     def __init__(self, initial_time: float = 0.0):
@@ -317,6 +344,14 @@ class Environment:
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._event_count = 0
+        # schedule-exploration hook (None = historical fast path)
+        self._policy = None
+        self._sched_log: list[int] = []
+        self._sched_fanout: list[int] = []
+        # process registry for deadlock diagnostics / schedule policies
+        self._procs: list[Process] = []
+        self._next_pid = 0
+        self._procs_prune_at = 64
 
     # -- clock ------------------------------------------------------
     @property
@@ -349,6 +384,61 @@ class Environment:
     def all_of(self, events: Iterable[Event]) -> AllOf:
         return AllOf(self, events)
 
+    # -- process registry ---------------------------------------------
+    def _register_process(self, proc: Process) -> int:
+        """Track ``proc`` for diagnostics; returns its creation-order pid.
+        Finished processes are pruned amortized-O(1) so long simulations
+        do not accumulate dead generators."""
+        self._next_pid += 1
+        self._procs.append(proc)
+        if len(self._procs) >= self._procs_prune_at:
+            self._procs = [p for p in self._procs if p.is_alive]
+            self._procs_prune_at = max(64, 2 * len(self._procs) + 1)
+        return self._next_pid
+
+    def alive_processes(self) -> list[Process]:
+        """Processes that have not finished, in creation order."""
+        return [p for p in self._procs if p.is_alive]
+
+    def describe_alive(self, limit: int = 8) -> str:
+        """One-line diagnostic of the still-alive processes — what each is
+        named, when it last ran, and what event it is parked on."""
+        alive = self.alive_processes()
+        if not alive:
+            return "no processes alive"
+        parts = []
+        for p in alive[:limit]:
+            parts.append(f"{p.name} (pid {p.pid}, last resumed at "
+                         f"{p.last_resumed_at:.1f} ns, waiting on "
+                         f"{_describe_wait(p._waiting_on)})")
+        if len(alive) > limit:
+            parts.append(f"... and {len(alive) - limit} more")
+        return "; ".join(parts)
+
+    # -- schedule-exploration hook -------------------------------------
+    def set_schedule_policy(self, policy) -> None:
+        """Install (or with ``None`` remove) a same-time tie-break policy.
+
+        The policy object needs one method,
+        ``choose(ready: list[tuple[float, int, Event]]) -> int``, called
+        whenever two or more events are ready at the minimum time.
+        ``ready`` is ordered by insertion (ascending ``seq``), so
+        returning 0 reproduces the default schedule exactly.  Every
+        choice is appended to :attr:`schedule_decisions` /
+        :attr:`schedule_fanouts` for replay and shrinking.
+        """
+        self._policy = policy
+
+    @property
+    def schedule_decisions(self) -> list[int]:
+        """Chosen ready-list index per choice point (policy runs only)."""
+        return self._sched_log
+
+    @property
+    def schedule_fanouts(self) -> list[int]:
+        """Number of ready events per choice point (policy runs only)."""
+        return self._sched_fanout
+
     # -- scheduling ----------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         if event._scheduled:
@@ -360,9 +450,51 @@ class Environment:
     # -- execution ----------------------------------------------------
     def step(self) -> None:
         """Process exactly one event."""
+        if self._policy is not None:
+            return self._step_policy()
         if not self._heap:
             raise SimulationError("step() on an empty schedule")
         time, _seq, event = heapq.heappop(self._heap)
+        self._now = time
+        self._event_count += 1
+        if isinstance(event, _Echo):
+            event._process()
+            return
+        if isinstance(event, Timeout):
+            event._value = event._pending_value
+            event._ok = True
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for fn in callbacks:
+                fn(event)
+
+    def _step_policy(self) -> None:
+        """One step with a schedule policy: collect every event ready at
+        the minimum time, let the policy pick, and push the rest back
+        (their original ``(time, seq)`` keys keep re-extraction stable).
+        """
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        first = heapq.heappop(self._heap)
+        time = first[0]
+        ready = [first]
+        while self._heap and self._heap[0][0] == time:
+            ready.append(heapq.heappop(self._heap))
+        if len(ready) == 1:
+            chosen = first
+        else:
+            idx = self._policy.choose(ready)
+            if not 0 <= idx < len(ready):
+                raise SimulationError(
+                    f"schedule policy chose index {idx} out of "
+                    f"{len(ready)} ready events")
+            self._sched_log.append(idx)
+            self._sched_fanout.append(len(ready))
+            chosen = ready.pop(idx)
+            for entry in ready:
+                heapq.heappush(self._heap, entry)
+        event = chosen[2]
         self._now = time
         self._event_count += 1
         if isinstance(event, _Echo):
@@ -399,7 +531,8 @@ class Environment:
             while not stop.processed:
                 if not self._heap:
                     raise SimulationError(
-                        "schedule drained before the awaited event triggered (deadlock?)")
+                        "schedule drained before the awaited event "
+                        "triggered (deadlock?); " + self.describe_alive())
                 self.step()
             if stop._ok:
                 return stop._value

@@ -82,6 +82,7 @@ class Resource:
         process and the slot leaks.
         """
         ev = self.env.event()
+        ev.info = ("resource", self.name or "unnamed")
         if self._in_use < self.capacity:
             self._account()
             self._in_use += 1
@@ -174,6 +175,7 @@ class Store:
 
     def get(self) -> Event:
         ev = self.env.event()
+        ev.info = ("store", self.name or "unnamed")
         if self._items:
             ev.succeed(self._items.popleft())
         else:
@@ -192,12 +194,14 @@ class WaitQueue:
     """A broadcast/wakeup primitive: processes park on :meth:`wait` and a
     producer wakes one or all.  Used by the memory watcher layer."""
 
-    def __init__(self, env: Environment):
+    def __init__(self, env: Environment, name: str = ""):
         self.env = env
+        self.name = name
         self._waiters: deque[Event] = deque()
 
     def wait(self) -> Event:
         ev = self.env.event()
+        ev.info = ("waitqueue", self.name or "unnamed")
         self._waiters.append(ev)
         return ev
 

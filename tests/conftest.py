@@ -1,0 +1,99 @@
+"""Shared test-suite plumbing: cluster/lock setup used across packages.
+
+Three families of helpers that used to be copied between
+``tests/locks/helpers.py``, ``tests/integration/test_end_to_end.py`` and
+``tests/workload/*``:
+
+* lock **pickers** — deterministic ``(node, thread, op, table) -> index``
+  strategies for choosing which lock an operation targets;
+* the closed-loop **client harness** — build a cluster + lock table,
+  spawn one generator client per (node, thread), run to completion and
+  assert every client finished cleanly;
+* the canonical **small workload spec** — the 2×2 shape most workload
+  tests start from.
+
+Import directly (``from tests.conftest import run_lock_clients``) or via
+the back-compat re-exports in ``tests.locks.helpers``.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import Cluster
+from repro.locktable import DistributedLockTable
+
+
+# ---------------------------------------------------------------- pickers
+
+def always_local(node, thread, op, table):
+    """Pick a lock homed on the caller's node (round-robins its partition)."""
+    indices = table.local_indices(node)
+    return indices[op % len(indices)]
+
+
+def always_remote(node, thread, op, table):
+    """Pick a lock homed on some other node."""
+    indices = table.remote_indices(node)
+    return indices[(op + thread) % len(indices)]
+
+
+def single_lock(node, thread, op, table):
+    """Everyone hammers lock 0 — maximum logical contention."""
+    return 0
+
+
+def mixed_locality(node, thread, op, table):
+    """Alternate local and remote targets deterministically."""
+    if op % 2 == 0:
+        return always_local(node, thread, op, table)
+    return always_remote(node, thread, op, table)
+
+
+# --------------------------------------------------- closed-loop harness
+
+def make_cluster_and_table(lock_kind: str, *, n_nodes: int, n_locks: int,
+                           lock_options: dict | None = None, seed: int = 1234,
+                           audit: str = "record", **cluster_kw):
+    """One cluster plus a lock table over it — the standard rig."""
+    cluster = Cluster(n_nodes, seed=seed, audit=audit, **cluster_kw)
+    table = DistributedLockTable(cluster, n_locks, lock_kind,
+                                 lock_options=lock_options)
+    return cluster, table
+
+
+def run_lock_clients(cluster, table, *, threads_per_node: int,
+                     ops_per_thread: int, pick_lock) -> int:
+    """Spawn one acquire→guarded-increment→release client per
+    (node, thread), run the cluster to completion, and assert every
+    client finished without an exception.  Returns completed op count."""
+    completed = {"ops": 0}
+
+    def client(node: int, thread: int):
+        ctx = cluster.thread_ctx(node, thread)
+        for op in range(ops_per_thread):
+            idx = pick_lock(node, thread, op, table)
+            yield from table.acquire(ctx, idx)
+            yield from table.guarded_increment(ctx, idx)
+            yield from table.release(ctx, idx)
+            completed["ops"] += 1
+
+    procs = []
+    for node in range(cluster.n_nodes):
+        for thread in range(threads_per_node):
+            procs.append(cluster.env.process(client(node, thread),
+                                             name=f"client-n{node}t{thread}"))
+    cluster.run()
+    for p in procs:
+        assert p.ok, f"client failed: {p.value!r}"
+    return completed["ops"]
+
+
+# ----------------------------------------------------- workload baseline
+
+def small_workload_spec(**over):
+    """The 2-node, 2-thread, 4-lock workload most tests start from."""
+    from repro.workload import WorkloadSpec
+
+    base = dict(n_nodes=2, threads_per_node=2, n_locks=4, locality_pct=100.0,
+                lock_kind="alock", ops_per_thread=10, seed=3, audit="record")
+    base.update(over)
+    return WorkloadSpec(**base)

@@ -14,6 +14,7 @@ from repro.locks import ALock, make_lock
 from repro.locktable import DistributedLockTable
 from repro.rdma.config import RdmaConfig
 from repro.workload import WorkloadSpec, run_workload
+from tests.conftest import make_cluster_and_table
 
 
 class TestEmergentCongestion:
@@ -181,8 +182,8 @@ class TestMixedLockKindsOneCluster:
     def test_tables_of_different_kinds_coexist(self):
         """Two tables with different lock kinds share one cluster without
         interfering with each other's correctness."""
-        cluster = Cluster(2, seed=4, audit="record")
-        alock_table = DistributedLockTable(cluster, 4, "alock")
+        cluster, alock_table = make_cluster_and_table(
+            "alock", n_nodes=2, n_locks=4, seed=4, audit="record")
         spin_table = DistributedLockTable(cluster, 4, "spinlock")
         done = {"ops": 0}
 

@@ -8,12 +8,22 @@ checks the mutual-exclusion witnesses:
   (no lost updates);
 * the base-class holder oracle raised no ProtocolError;
 * the Table-1 race auditor recorded zero violations.
+
+The generic rig (cluster construction, client loop, lock pickers) lives
+in :mod:`tests.conftest` so the integration and schedcheck suites share
+it; this module keeps the lock-suite entry point and witness checks.
 """
 
 from __future__ import annotations
 
-from repro.cluster import Cluster
-from repro.locktable import DistributedLockTable
+from tests.conftest import (  # noqa: F401  (re-exported for lock tests)
+    always_local,
+    always_remote,
+    make_cluster_and_table,
+    mixed_locality,
+    run_lock_clients,
+    single_lock,
+)
 
 
 def stress(lock_kind: str, *, n_nodes: int, threads_per_node: int,
@@ -26,59 +36,18 @@ def stress(lock_kind: str, *, n_nodes: int, threads_per_node: int,
         pick_lock: callable ``(node, thread, op_index, table) -> lock index``
             — deterministic lock choice per operation.
     """
-    cluster = Cluster(n_nodes, seed=seed, audit=audit)
-    table = DistributedLockTable(cluster, n_locks, lock_kind,
-                                 lock_options=lock_options)
-    completed = {"ops": 0}
-
-    def client(node: int, thread: int):
-        ctx = cluster.thread_ctx(node, thread)
-        for op in range(ops_per_thread):
-            idx = pick_lock(node, thread, op, table)
-            yield from table.acquire(ctx, idx)
-            yield from table.guarded_increment(ctx, idx)
-            yield from table.release(ctx, idx)
-            completed["ops"] += 1
-
-    procs = []
-    for node in range(n_nodes):
-        for thread in range(threads_per_node):
-            procs.append(cluster.env.process(client(node, thread),
-                                             name=f"client-n{node}t{thread}"))
-    cluster.run()
-    for p in procs:
-        assert p.ok, f"client failed: {p.value!r}"
+    cluster, table = make_cluster_and_table(
+        lock_kind, n_nodes=n_nodes, n_locks=n_locks,
+        lock_options=lock_options, seed=seed, audit=audit)
+    ops = run_lock_clients(cluster, table, threads_per_node=threads_per_node,
+                           ops_per_thread=ops_per_thread, pick_lock=pick_lock)
     expected = n_nodes * threads_per_node * ops_per_thread
-    assert completed["ops"] == expected
+    assert ops == expected
     table.check_counters(expected)
     cluster.auditor.assert_clean()
     return {
         "cluster": cluster,
         "table": table,
-        "ops": completed["ops"],
+        "ops": ops,
         "duration_ns": cluster.env.now,
     }
-
-
-def always_local(node, thread, op, table):
-    """Pick a lock homed on the caller's node (round-robins its partition)."""
-    indices = table.local_indices(node)
-    return indices[op % len(indices)]
-
-
-def always_remote(node, thread, op, table):
-    """Pick a lock homed on some other node."""
-    indices = table.remote_indices(node)
-    return indices[(op + thread) % len(indices)]
-
-
-def single_lock(node, thread, op, table):
-    """Everyone hammers lock 0 — maximum logical contention."""
-    return 0
-
-
-def mixed_locality(node, thread, op, table):
-    """Alternate local and remote targets deterministically."""
-    if op % 2 == 0:
-        return always_local(node, thread, op, table)
-    return always_remote(node, thread, op, table)

@@ -1,0 +1,162 @@
+"""Explorer mechanics: enumeration, failure taxonomy, reports, scenarios."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.common.errors import ConfigError
+from repro.schedcheck import (
+    BuiltRun,
+    LockScenario,
+    ScheduleResult,
+    ExplorationReport,
+    enumerate_schedules,
+    explore_random,
+    run_schedule,
+)
+
+TINY = LockScenario(lock_kind="spinlock", n_nodes=1, threads_per_node=2,
+                    ops_per_thread=1, seed=0)
+
+
+class TestEnumeration:
+    def test_first_schedule_is_the_default(self):
+        report = enumerate_schedules(TINY, max_schedules=1)
+        assert report.schedules_run == 1
+        # a single default run: no non-default decisions were forced
+
+    def test_bounded_enumeration_terminates_and_diversifies(self):
+        report = enumerate_schedules(TINY, max_schedules=40,
+                                     max_choice_points=3)
+        assert report.schedules_run <= 40
+        assert report.distinct_executions > 1
+        assert report.ok_count == report.schedules_run  # spinlock is correct
+
+    def test_choice_point_bound_limits_the_tree(self):
+        shallow = enumerate_schedules(TINY, max_schedules=200,
+                                      max_choice_points=1)
+        deeper = enumerate_schedules(TINY, max_schedules=200,
+                                     max_choice_points=2)
+        assert shallow.schedules_run <= deeper.schedules_run
+
+    def test_exhausts_small_trees_before_the_budget(self):
+        report = enumerate_schedules(TINY, max_schedules=10_000,
+                                     max_choice_points=2)
+        assert report.schedules_run < 10_000  # ran out of tree, not budget
+
+
+class _CustomScenario:
+    """Anything with build() -> BuiltRun is a scenario; exercise that
+    contract with hand-rolled process soups."""
+
+    def __init__(self, behaviour: str):
+        self.behaviour = behaviour
+
+    def build(self) -> BuiltRun:
+        cluster = Cluster(1, seed=0, audit="off", trace=True)
+        env = cluster.env
+
+        def crasher():
+            yield env.timeout(10)
+            raise RuntimeError("seeded crash")
+
+        def parked():
+            yield env.event()  # never triggered -> deadlock
+
+        def spinner():
+            while True:
+                yield env.timeout(100)  # alive at any deadline -> stall
+
+        def finisher():
+            yield env.timeout(10)
+
+        body = {"exception": crasher, "deadlock": parked,
+                "stall": spinner, "ok": finisher}[self.behaviour]
+        procs = [env.process(body(), name=f"client-{self.behaviour}"),
+                 env.process(finisher(), name="client-bystander")]
+        return BuiltRun(cluster=cluster, processes=procs, deadline_ns=5_000)
+
+
+class TestFailureTaxonomy:
+    def test_clean_run_is_ok(self):
+        result = run_schedule(_CustomScenario("ok"), None)
+        assert result.ok and result.failure_kind is None
+
+    def test_client_exception_classified(self):
+        result = run_schedule(_CustomScenario("exception"), None)
+        assert result.failure_kind == "exception"
+        assert "RuntimeError" in result.detail
+        assert "seeded crash" in result.detail
+
+    def test_drained_heap_with_parked_clients_is_deadlock(self):
+        result = run_schedule(_CustomScenario("deadlock"), None)
+        assert result.failure_kind == "deadlock"
+        assert "client-deadlock" in result.detail
+        assert "last resumed at" in result.detail
+
+    def test_live_clients_at_deadline_is_stall(self):
+        result = run_schedule(_CustomScenario("stall"), None)
+        assert result.failure_kind == "stall"
+        assert "deadline" in result.detail
+
+    def test_summary_mentions_decisions(self):
+        result = run_schedule(_CustomScenario("deadlock"), None)
+        assert "(default)" in result.summary()
+
+
+class TestExplorationReport:
+    def _failure(self, i):
+        return ScheduleResult(ok=False, failure_kind="deadlock",
+                              schedule_index=i)
+
+    def test_counts_and_caps(self):
+        report = ExplorationReport(max_kept=2)
+        report.record(ScheduleResult(ok=True))
+        for i in range(5):
+            report.record(self._failure(i))
+        assert report.schedules_run == 6
+        assert report.ok_count == 1
+        assert report.failure_counts == {"deadlock": 5}  # all counted
+        assert len(report.failures) == 2                 # storage capped
+        assert report.first_failure.schedule_index == 0
+
+    def test_stop_on_failure_stops_early(self):
+        sc = _CustomScenario("exception")
+        report = explore_random(sc, 30, seed=0, stop_on_failure=True)
+        assert report.schedules_run == 1
+        report = explore_random(sc, 5, seed=0)
+        assert report.schedules_run == 5
+
+
+class TestLockScenarioValidation:
+    def test_unknown_picker_rejected(self):
+        with pytest.raises(ConfigError):
+            LockScenario(pick="round-robin")
+
+    def test_zero_ops_rejected(self):
+        with pytest.raises(ConfigError):
+            LockScenario(ops_per_thread=0)
+
+    def test_scenarios_are_hashable_recipes(self):
+        a = LockScenario(seed=1, lock_options=(("bug", "lost_wakeup"),))
+        b = LockScenario(seed=1, lock_options=(("bug", "lost_wakeup"),))
+        assert a == b and hash(a) == hash(b)
+
+    @pytest.mark.parametrize("pick", ["single", "local", "remote", "mixed"])
+    def test_every_picker_builds_and_runs(self, pick):
+        sc = LockScenario(lock_kind="alock", n_nodes=2, threads_per_node=1,
+                          ops_per_thread=2, n_locks=4, pick=pick, seed=1)
+        assert run_schedule(sc, None).ok
+
+    def test_budgets_extracted_for_alock(self):
+        run = LockScenario(lock_kind="alock", n_locks=2).build()
+        assert run.budgets
+        for home, local_b, remote_b in run.budgets.values():
+            assert local_b >= 1 and remote_b >= 1
+
+    def test_stagger_delays_later_clients(self):
+        sc = LockScenario(lock_kind="spinlock", n_nodes=1,
+                          threads_per_node=2, ops_per_thread=1,
+                          stagger_ns=5_000.0, seed=0, record_history=False)
+        base = LockScenario(**{**sc.__dict__, "stagger_ns": 0.0})
+        assert run_schedule(sc, None).sim_time_ns > \
+            run_schedule(base, None).sim_time_ns

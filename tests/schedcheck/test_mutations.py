@@ -1,0 +1,125 @@
+"""Mutation tests: the explorer must catch seeded interleaving bugs.
+
+Three opt-in defects live in the real lock implementations:
+
+* ``no_victim_check`` (ALock's Peterson competition) — the local leader
+  skips the not-victim clause and waits for a fully-drained remote tail.
+* ``skip_budget_wait`` (ALock's MCS release) — the holder reads ``next``
+  once instead of waiting for the successor link; a late link write
+  orphans the successor.
+* ``lost_wakeup`` (MCS baseline) — check-then-park wait: the handoff
+  write can land after the poll sampled the flag but before the watcher
+  is armed.
+
+For each, the same scenario must (a) complete cleanly under the default
+schedule — the bug hides from plain testing; (b) be found by seeded
+exploration within a bounded schedule budget; (c) shrink to a
+counterexample of at most 25 decisions that still fails.  The seeds and
+budgets below are the documented reproduction constants.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.locks import make_lock
+from repro.schedcheck import (
+    LockScenario,
+    explore_random,
+    replay,
+    run_schedule,
+    shrink_failure,
+)
+
+# (name, scenario, exploration budget): each found by explore_random
+# with seed=1 within the stated number of random-walk schedules.
+SEEDED_BUGS = [
+    (
+        "no_victim_check",
+        LockScenario(lock_kind="alock", n_nodes=2, threads_per_node=2,
+                     ops_per_thread=2, think_ns=200.0, seed=0,
+                     lock_options=(("bug", "no_victim_check"),)),
+        50,
+    ),
+    (
+        "skip_budget_wait",
+        LockScenario(lock_kind="alock", n_nodes=1, threads_per_node=2,
+                     ops_per_thread=4, think_ns=100.0, seed=2,
+                     lock_options=(("bug", "skip_budget_wait"),)),
+        50,
+    ),
+    (
+        "lost_wakeup",
+        LockScenario(lock_kind="mcs", n_nodes=1, threads_per_node=3,
+                     ops_per_thread=3, seed=0,
+                     lock_options=(("bug", "lost_wakeup"),
+                                   ("poll_interval_ns", 200.0))),
+        50,
+    ),
+]
+EXPLORE_SEED = 1
+
+BUG_IDS = [name for name, _sc, _n in SEEDED_BUGS]
+
+
+def correct_twin(scenario: LockScenario) -> LockScenario:
+    """The same scenario with the seeded bug switched off."""
+    options = tuple((k, v) for k, v in scenario.lock_options if k != "bug")
+    return LockScenario(**{**scenario.__dict__, "lock_options": options})
+
+
+@pytest.mark.parametrize("name,scenario,budget", SEEDED_BUGS, ids=BUG_IDS)
+class TestSeededBugs:
+    def test_default_schedule_does_not_catch_it(self, name, scenario, budget):
+        """The bug survives the insertion-order schedule — the reason the
+        plain test suite can't see these defects."""
+        result = run_schedule(scenario, None)
+        assert result.ok, f"{name} fails even by default: {result.summary()}"
+
+    def test_exploration_finds_it_within_budget(self, name, scenario, budget):
+        report = explore_random(scenario, budget, seed=EXPLORE_SEED,
+                                stop_on_failure=True)
+        failure = report.first_failure
+        assert failure is not None, (
+            f"{name} not found in {budget} schedules (seed {EXPLORE_SEED})")
+        assert failure.failure_kind in ("deadlock", "stall")
+        # the failure names the stuck clients with their last-resumed times
+        assert "client-" in failure.detail
+        assert "last resumed at" in failure.detail
+
+    def test_counterexample_shrinks_small_and_still_fails(
+            self, name, scenario, budget):
+        report = explore_random(scenario, budget, seed=EXPLORE_SEED,
+                                stop_on_failure=True)
+        failure = report.first_failure
+        shrunk = shrink_failure(scenario, failure)
+        assert shrunk.size <= 25, shrunk.summary()
+        assert shrunk.size <= len(failure.decisions)
+        confirmed = replay(scenario, shrunk.decisions)
+        assert not confirmed.ok
+        assert confirmed.failure_kind == failure.failure_kind
+
+    def test_correct_lock_survives_the_same_exploration(
+            self, name, scenario, budget):
+        """Identical scenario, bug off: every explored schedule passes —
+        the detections above are the defects, not the harness."""
+        report = explore_random(correct_twin(scenario), budget,
+                                seed=EXPLORE_SEED)
+        assert report.ok_count == report.schedules_run, report.summary()
+
+
+class TestBugOptValidation:
+    def test_unknown_bug_rejected(self):
+        from repro.cluster import Cluster
+
+        cluster = Cluster(2, seed=0)
+        with pytest.raises(ConfigError):
+            make_lock("alock", cluster, 0, bug="typo_bug")
+        with pytest.raises(ConfigError):
+            make_lock("mcs", cluster, 0, bug="typo_bug")
+
+    def test_bugs_are_off_by_default(self):
+        from repro.cluster import Cluster
+
+        cluster = Cluster(2, seed=0)
+        assert make_lock("alock", cluster, 0).bug == ""
+        assert make_lock("mcs", cluster, 0).bug == ""

@@ -1,0 +1,107 @@
+"""Policy tests: the default-schedule regression and policy determinism.
+
+The FifoPolicy regression is the load-bearing guarantee of the whole
+harness: installing the policy machinery with the always-default policy
+must reproduce a policy-less run *bit for bit* (same trace, same stats,
+same digest) — otherwise recorded decision strings would not mean
+anything.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.schedcheck import (
+    FifoPolicy,
+    LockScenario,
+    PctPolicy,
+    RandomWalkPolicy,
+    execution_digest,
+    make_policy,
+    run_schedule,
+)
+
+SCENARIOS = [
+    LockScenario(lock_kind="alock", n_nodes=2, threads_per_node=2,
+                 ops_per_thread=2, seed=5),
+    LockScenario(lock_kind="mcs", n_nodes=1, threads_per_node=2,
+                 ops_per_thread=3, seed=9),
+    LockScenario(lock_kind="spinlock", n_nodes=2, threads_per_node=1,
+                 ops_per_thread=2, seed=0, pick="remote"),
+]
+
+
+class TestFifoRegression:
+    @pytest.mark.parametrize("scenario", SCENARIOS,
+                             ids=lambda s: s.lock_kind)
+    def test_fifo_policy_reproduces_default_schedule(self, scenario):
+        base = run_schedule(scenario, None)
+        fifo = run_schedule(scenario, FifoPolicy())
+        assert base.ok and fifo.ok
+        assert fifo.digest == base.digest
+        assert fifo.events == base.events
+        assert fifo.sim_time_ns == base.sim_time_ns
+        # every recorded decision is the default pick -> empty string
+        assert not fifo.decisions
+
+    def test_calibrated_cost_model_also_reproduces(self):
+        """The regression holds on the real (non-coarse) cost model too."""
+        sc = LockScenario(lock_kind="alock", n_nodes=2, threads_per_node=2,
+                          ops_per_thread=2, seed=5, coarse_time=False)
+        assert run_schedule(sc, FifoPolicy()).digest == \
+            run_schedule(sc, None).digest
+
+
+class TestPolicyDeterminism:
+    def test_same_seed_same_schedule(self):
+        sc = SCENARIOS[0]
+        a = run_schedule(sc, RandomWalkPolicy(42))
+        b = run_schedule(sc, RandomWalkPolicy(42))
+        assert a.digest == b.digest
+        assert a.decisions == b.decisions
+
+    def test_different_seeds_diverge(self):
+        sc = SCENARIOS[0]
+        digests = {run_schedule(sc, RandomWalkPolicy(s)).digest
+                   for s in range(8)}
+        assert len(digests) > 1
+
+    def test_pct_same_seed_same_schedule(self):
+        sc = SCENARIOS[0]
+        a = run_schedule(sc, PctPolicy(7, change_points=3))
+        b = run_schedule(sc, PctPolicy(7, change_points=3))
+        assert a.digest == b.digest
+
+    def test_policies_preserve_correctness_witnesses(self):
+        """Reordering ties must never break a correct lock: every policy
+        run completes with clean checkers (that's what makes a failure
+        under exploration a real bug)."""
+        sc = SCENARIOS[0]
+        for seed in range(5):
+            assert run_schedule(sc, RandomWalkPolicy(seed)).ok
+            assert run_schedule(sc, PctPolicy(seed)).ok
+
+
+class TestMakePolicy:
+    def test_known_kinds(self):
+        assert isinstance(make_policy("fifo", 0), FifoPolicy)
+        assert isinstance(make_policy("random", 0), RandomWalkPolicy)
+        assert isinstance(make_policy("pct", 0), PctPolicy)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError):
+            make_policy("chaos-monkey", 0)
+
+    def test_pct_validates_arguments(self):
+        with pytest.raises(ConfigError):
+            PctPolicy(0, change_points=-1)
+        with pytest.raises(ConfigError):
+            PctPolicy(0, horizon=0)
+
+
+class TestDigest:
+    def test_digest_covers_trace_and_stats(self):
+        run = SCENARIOS[0].build()
+        run.cluster.env.run(until=run.deadline_ns)
+        d1 = execution_digest(run.cluster)
+        assert d1 == execution_digest(run.cluster)  # pure
+        assert len(d1) == 32  # blake2b-128 hex

@@ -264,6 +264,41 @@ class TestProcess:
         with pytest.raises(SimulationError):
             env.run(until=p)
 
+    def test_deadlock_error_names_alive_processes(self, env):
+        """The deadlock diagnostic must say *who* is stuck: process
+        names, pids, last-resumed times, and what they wait on."""
+        ev = env.event()  # never triggered
+
+        def early():
+            yield ev
+
+        def late():
+            yield env.timeout(42)
+            yield ev
+
+        env.process(early(), name="early-waiter")
+        p_late = env.process(late(), name="late-waiter")
+        with pytest.raises(SimulationError) as exc_info:
+            env.run(until=p_late)
+        msg = str(exc_info.value)
+        assert "early-waiter" in msg and "late-waiter" in msg
+        assert "last resumed at 0.0 ns" in msg      # early never re-ran
+        assert "last resumed at 42.0 ns" in msg     # late ran once
+        assert "waiting on" in msg
+
+    def test_describe_alive_caps_output(self, env):
+        ev = env.event()
+
+        def proc():
+            yield ev
+
+        for i in range(12):
+            env.process(proc(), name=f"w{i}")
+        env.run()  # drains the (empty) schedule; all 12 still alive
+        desc = env.describe_alive(limit=8)
+        assert "w0" in desc and "w7" in desc
+        assert "... and 4 more" in desc
+
     def test_nested_processes_three_deep(self, env):
         def level(n):
             if n == 0:
@@ -367,3 +402,74 @@ class TestDeterminism:
         env.process(proc())
         env.run()
         assert env.event_count >= 10
+
+
+class TestSchedulePolicyHook:
+    """The same-time tie-break hook (exercised end to end by
+    ``tests/schedcheck``; these are the engine-level contracts)."""
+
+    def build(self, policy):
+        env = Environment()
+        log = []
+
+        def worker(i):
+            yield env.timeout(10)        # all three tie at t=10
+            log.append(i)
+            yield env.timeout(5)         # and again at t=15
+            log.append(i)
+
+        for i in range(3):
+            env.process(worker(i))
+        env.set_schedule_policy(policy)
+        env.run()
+        return env, log
+
+    def test_index_zero_policy_matches_default(self):
+        class AlwaysDefault:
+            def choose(self, ready):
+                return 0
+
+        _, unpoliced = self.build(None)
+        _, policied = self.build(AlwaysDefault())
+        assert policied == unpoliced
+
+    def test_choices_and_fanouts_are_recorded(self):
+        class AlwaysSecond:
+            def choose(self, ready):
+                return min(1, len(ready) - 1)
+
+        _, default_log = self.build(None)
+        env, log = self.build(AlwaysSecond())
+        assert log != default_log        # the ties really were reordered
+        assert sorted(log) == sorted(default_log)  # same work, other order
+        assert env.schedule_decisions
+        assert all(f >= 2 for f in env.schedule_fanouts)
+        assert len(env.schedule_decisions) == len(env.schedule_fanouts)
+
+    def test_singleton_ready_list_skips_policy(self):
+        calls = []
+
+        class Spy:
+            def choose(self, ready):
+                calls.append(len(ready))
+                return 0
+
+        env = Environment()
+
+        def lone():
+            for _ in range(4):
+                yield env.timeout(3)
+
+        env.process(lone())
+        env.set_schedule_policy(Spy())
+        env.run()
+        assert calls == []               # no ties -> policy never consulted
+        assert env.schedule_decisions == []
+
+    def test_out_of_range_choice_raises(self):
+        class Bad:
+            def choose(self, ready):
+                return len(ready)
+
+        with pytest.raises(SimulationError):
+            self.build(Bad())

@@ -4,13 +4,7 @@ import numpy as np
 import pytest
 
 from repro.workload import LatencySummary, WorkloadSpec, run_workload
-
-
-def small_spec(**over):
-    base = dict(n_nodes=2, threads_per_node=2, n_locks=4, locality_pct=100.0,
-                lock_kind="alock", ops_per_thread=10, seed=3, audit="record")
-    base.update(over)
-    return WorkloadSpec(**base)
+from tests.conftest import small_workload_spec as small_spec
 
 
 class TestCountMode:

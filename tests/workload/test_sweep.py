@@ -11,9 +11,9 @@ from repro.workload import (
     throughput_metric,
 )
 
-BASE = WorkloadSpec(n_nodes=2, threads_per_node=2, n_locks=4,
-                    locality_pct=100.0, lock_kind="alock",
-                    ops_per_thread=8, audit="off")
+from tests.conftest import small_workload_spec
+
+BASE = small_workload_spec(ops_per_thread=8, seed=0, audit="off")
 
 
 class TestSweep:
