@@ -1,0 +1,219 @@
+"""CI benchmark harness: a pinned fast subset with stable JSON output.
+
+Runs a fixed set of scenarios — the DES-core microbenchmarks from
+``bench_engine``, the uncontended lock-primitive costs from
+``bench_lock_primitives``, the observability overhead probe from
+``bench_obs``, and one fig5-style sweep cell — each repeated
+``--repeats`` times, and writes the medians to ``BENCH_ci.json``.
+
+This is *not* pytest-benchmark: CI needs a dependency-light harness
+whose output schema is stable enough to diff against a committed
+baseline (``scripts/check_bench_regression.py`` fails the build on a
+>20% median regression).  The pytest-benchmark suite remains the tool
+for interactive, statistically careful measurement.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/ci_bench.py --out BENCH_ci.json
+    PYTHONPATH=src python scripts/check_bench_regression.py \\
+        --baseline benchmarks/baselines/BENCH_ci.json --current BENCH_ci.json
+
+Re-baselining (after an intentional perf change, on the machine class
+that runs the gate)::
+
+    PYTHONPATH=src python benchmarks/ci_bench.py --repeats 9 \\
+        --out benchmarks/baselines/BENCH_ci.json
+    # commit the new baseline together with the change that moved it
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+
+from repro.cluster import Cluster
+from repro.locks import make_lock
+from repro.memory import MemoryRegion
+from repro.obs import ObsConfig
+from repro.sim import Environment, Resource
+from repro.workload.runner import run_workload
+from repro.workload.spec import WorkloadSpec
+
+SCHEMA = "alock-bench-ci/1"
+
+
+# -- pinned scenarios ------------------------------------------------------
+def event_dispatch() -> int:
+    env = Environment()
+
+    def proc():
+        for _ in range(2000):
+            yield env.timeout(1)
+
+    env.process(proc())
+    env.run()
+    return env.event_count
+
+
+def resource_contention() -> int:
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def proc():
+        for _ in range(100):
+            yield from res.serve(5)
+
+    for _ in range(10):
+        env.process(proc())
+    env.run()
+    return res.total_served
+
+
+def watcher_chain() -> int:
+    env = Environment()
+    region = MemoryRegion(env, 0, 4096)
+
+    def ponger():
+        for i in range(500):
+            yield region.watch(64)
+            region.write(72, i)
+
+    def pinger():
+        for i in range(500):
+            region.write(64, i)
+            yield region.watch(72)
+
+    env.process(ponger())
+    env.process(pinger())
+    env.run()
+    return region.local_writes
+
+
+def verb_round_trips() -> int:
+    cluster = Cluster(2, audit="off")
+    ctx = cluster.thread_ctx(0, 0)
+    ptr = cluster.alloc_on(1, 64)
+
+    def proc():
+        for i in range(200):
+            yield from ctx.r_cas(ptr, i, i + 1)
+
+    cluster.env.process(proc())
+    cluster.run()
+    return cluster.network.verb_counts["rCAS"]
+
+
+def _lock_cycle(kind: str, local: bool, cycles: int) -> int:
+    cluster = Cluster(2, audit="off")
+    lock = make_lock(kind, cluster, 0)
+    ctx = cluster.thread_ctx(0 if local else 1, 0)
+
+    def proc():
+        for _ in range(cycles):
+            yield from lock.lock(ctx)
+            yield from lock.unlock(ctx)
+
+    cluster.env.process(proc())
+    cluster.run()
+    return cycles
+
+
+def alock_local_cycle() -> int:
+    return _lock_cycle("alock", local=True, cycles=500)
+
+
+def alock_remote_cycle() -> int:
+    return _lock_cycle("alock", local=False, cycles=100)
+
+
+def mcs_local_cycle() -> int:
+    return _lock_cycle("mcs", local=True, cycles=100)
+
+
+def obs_overhead_run() -> int:
+    spec = WorkloadSpec(
+        n_nodes=5, threads_per_node=4, n_locks=20, locality_pct=90.0,
+        ops_per_thread=30, cs_ns=500.0, seed=17, lock_kind="alock",
+        audit="off")
+    result = run_workload(spec, obs=ObsConfig(spans=True, metrics=True))
+    return result.measured_ops
+
+
+def single_cell() -> int:
+    spec = WorkloadSpec(
+        n_nodes=5, threads_per_node=4, n_locks=100, locality_pct=90.0,
+        lock_kind="alock", warmup_ns=100_000.0, measure_ns=400_000.0,
+        seed=0, audit="off")
+    return run_workload(spec).measured_ops
+
+
+SCENARIOS = {
+    "event_dispatch": event_dispatch,
+    "resource_contention": resource_contention,
+    "watcher_chain": watcher_chain,
+    "verb_round_trips": verb_round_trips,
+    "alock_local_cycle": alock_local_cycle,
+    "alock_remote_cycle": alock_remote_cycle,
+    "mcs_local_cycle": mcs_local_cycle,
+    "obs_overhead_run": obs_overhead_run,
+    "single_cell": single_cell,
+}
+
+
+def measure(fn, repeats: int) -> dict:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return {
+        "median_s": statistics.median(times),
+        "min_s": min(times),
+        "repeats": repeats,
+        "runs_s": [round(t, 6) for t in times],
+    }
+
+
+def run_suite(repeats: int, only=None) -> dict:
+    results = {}
+    for name, fn in SCENARIOS.items():
+        if only and name not in only:
+            continue
+        fn()  # warm imports/caches outside the timed region
+        results[name] = measure(fn, repeats)
+        print(f"  {name}: median {results[name]['median_s'] * 1e3:.1f} ms",
+              file=sys.stderr)
+    return {
+        "schema": SCHEMA,
+        "hardware": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "benchmarks": results,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_ci.json")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed runs per scenario (median is compared)")
+    parser.add_argument("--only", nargs="*", default=None,
+                        help=f"subset of scenarios ({', '.join(SCENARIOS)})")
+    args = parser.parse_args(argv)
+    payload = run_suite(args.repeats, set(args.only) if args.only else None)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(payload['benchmarks'])} scenario medians to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

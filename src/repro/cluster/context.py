@@ -15,8 +15,9 @@ from typing import Callable, TYPE_CHECKING
 
 from repro.common.errors import MemoryError_, VerbTimeout
 from repro.common.ids import make_global_thread_id
-from repro.memory.pointer import ptr_addr, ptr_node
+from repro.memory.pointer import ADDR_BITS, _ADDR_MASK, ptr_addr, ptr_node
 from repro.memory.region import to_signed
+from repro.sim.core import Timeout
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.cluster import Cluster
@@ -28,6 +29,14 @@ class ThreadContext:
     Not constructed directly — use :meth:`Cluster.thread_ctx`.
     """
 
+    # The trailing slots are lazily-attached per-lock descriptor caches
+    # (see repro.locks.alock.descriptors / repro.locks.baselines.mcs).
+    __slots__ = ("cluster", "env", "node_id", "thread_id", "gid", "actor",
+                 "_region", "_net", "_cpu", "tracer", "spans", "local_op_count",
+                 "remote_op_count", "verb_timeouts",
+                 "_alock_descriptors", "_alock_descriptor_pools",
+                 "_mcs_descriptor")
+
     def __init__(self, cluster: "Cluster", node_id: int, thread_id: int):
         self.cluster = cluster
         self.env = cluster.env
@@ -38,6 +47,7 @@ class ThreadContext:
         self._region = cluster.regions[node_id]
         self._net = cluster.network
         self._cpu = cluster.config.cpu
+        self.tracer = cluster.tracer
         self.spans = cluster.obs.spans  # typed span recorder (obs layer)
         # statistics
         self.local_op_count = 0
@@ -51,22 +61,23 @@ class ThreadContext:
         return ptr_node(ptr) == self.node_id
 
     def _local_addr(self, ptr: int) -> int:
-        if ptr_node(ptr) != self.node_id:
+        # ptr_node/ptr_addr inlined: this guard runs on every local op.
+        if (ptr >> ADDR_BITS) != self.node_id:
             raise MemoryError_(
                 f"{self.actor} attempted a LOCAL operation on node "
                 f"{ptr_node(ptr)} memory — local ops require loopback or "
                 f"verbs (this is the bug class ALock exists to prevent)")
-        return ptr_addr(ptr)
+        return ptr & _ADDR_MASK
 
     def trace(self, kind: str, detail: str = "") -> None:
-        self.cluster.tracer.emit(self.env.now, self.actor, kind, detail)
+        self.tracer.emit(self.env.now, self.actor, kind, detail)
 
     # -- local (shared-memory) operations ------------------------------
     def read(self, ptr: int, *, signed: bool = False):
         """Local atomic 8-byte load."""
         addr = self._local_addr(ptr)
         self.local_op_count += 1
-        yield self.env.timeout(self._cpu.local_read_ns)
+        yield Timeout(self.env, self._cpu.local_read_ns)
         value = self._region.read(addr, self.actor)
         return to_signed(value) if signed else value
 
@@ -74,14 +85,14 @@ class ThreadContext:
         """Local atomic 8-byte store."""
         addr = self._local_addr(ptr)
         self.local_op_count += 1
-        yield self.env.timeout(self._cpu.local_write_ns)
+        yield Timeout(self.env, self._cpu.local_write_ns)
         self._region.write(addr, value, self.actor)
 
     def cas(self, ptr: int, expected: int, desired: int, *, signed: bool = False):
         """Local compare-and-swap; returns the previous value."""
         addr = self._local_addr(ptr)
         self.local_op_count += 1
-        yield self.env.timeout(self._cpu.local_cas_ns)
+        yield Timeout(self.env, self._cpu.local_cas_ns)
         old = self._region.cas(addr, expected, desired, self.actor)
         return to_signed(old) if signed else old
 
@@ -89,14 +100,14 @@ class ThreadContext:
         """Local fetch-and-add; returns the previous value."""
         addr = self._local_addr(ptr)
         self.local_op_count += 1
-        yield self.env.timeout(self._cpu.local_cas_ns)
+        yield Timeout(self.env, self._cpu.local_cas_ns)
         old = self._region.faa(addr, delta, self.actor)
         return to_signed(old) if signed else old
 
     def fence(self):
         """atomic_thread_fence — required by §5.2 after locking and before
         unlocking (RDMA memory semantics are not sequentially consistent)."""
-        yield self.env.timeout(self._cpu.fence_ns)
+        yield Timeout(self.env, self._cpu.fence_ns)
 
     def wait_local(self, ptr: int, predicate: Callable[[int], bool],
                    *, signed: bool = False):
@@ -112,13 +123,13 @@ class ThreadContext:
         while True:
             ev = self._region.watch(addr)  # register first (synchronous)
             self.local_op_count += 1
-            yield self.env.timeout(self._cpu.local_read_ns)
+            yield Timeout(self.env, self._cpu.local_read_ns)
             raw = self._region.read(addr, self.actor)
             value = to_signed(raw) if signed else raw
             if predicate(value):
                 return value
             yield ev
-            yield self.env.timeout(self._cpu.spin_recheck_ns)
+            yield Timeout(self.env, self._cpu.spin_recheck_ns)
 
     def wait_local_cond(self, ptrs: list[int], check):
         """Park until a compound condition over several *local* words holds.
@@ -137,7 +148,7 @@ class ThreadContext:
             if result:
                 return result
             yield ev
-            yield self.env.timeout(self._cpu.spin_recheck_ns)
+            yield Timeout(self.env, self._cpu.spin_recheck_ns)
 
     def wait_local_any(self, ptrs: list[int]):
         """Park until any of several *local* words is written; returns
@@ -147,7 +158,7 @@ class ThreadContext:
         addrs = [self._local_addr(p) for p in ptrs]
         ev = self._region.watch_any(addrs)
         addr, raw = yield ev
-        yield self.env.timeout(self._cpu.spin_recheck_ns)
+        yield Timeout(self.env, self._cpu.spin_recheck_ns)
         # map the byte address back to the caller's pointer
         for p, a in zip(ptrs, addrs):
             if a == addr:

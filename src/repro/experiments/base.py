@@ -64,6 +64,28 @@ def scale_params(scale: str) -> dict[str, Any]:
         raise ConfigError(f"unknown scale {scale!r}; choose from {sorted(SCALES)}") from None
 
 
+def prefetch_runs(specs, workers: int) -> dict:
+    """Evaluate ``specs`` on a process pool, keyed by spec.
+
+    The parallel seam of the experiment modules: each module enumerates
+    the exact specs its assembly phase will ask for, this fans them out
+    via :func:`repro.parallel.engine.pmap_workloads`, and the assembly
+    code looks results up by spec (``WorkloadSpec`` is frozen, hence
+    hashable).  Every cell is a sealed seeded run, so the returned
+    ``RunResult`` values are identical to what serial ``run_workload``
+    calls would produce — parallelism changes wall-clock only.
+
+    With ``workers <= 1`` returns an empty dict: callers fall back to
+    their original inline ``run_workload`` path, keeping the serial code
+    the reference implementation.
+    """
+    if workers <= 1:
+        return {}
+    from repro.parallel.engine import pmap_workloads
+    unique = list(dict.fromkeys(specs))
+    return dict(zip(unique, pmap_workloads(unique, workers=workers)))
+
+
 @dataclass
 class ExperimentResult:
     """What one experiment run produced.

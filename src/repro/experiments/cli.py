@@ -4,7 +4,10 @@
 
     alock-experiments list
     alock-experiments run fig1 fig4 --scale small --out results.md
-    alock-experiments run all --scale smoke
+    alock-experiments run all --scale smoke --parallel
+    alock-experiments run fig5 --scale paper --workers 8
+    alock-experiments sweep --lock alock mcs --locality 85 95 \\
+        --seeds 0 1 2 --workers 4 --json sweep.json --csv sweep.csv
     alock-experiments explore --lock alock --schedules 50 --shrink
     alock-experiments explore --lock mcs --lock-option bug=lost_wakeup \\
         --lock-option poll_interval_ns=200 --nodes 1 --threads 3 --ops 3
@@ -14,6 +17,7 @@
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -21,6 +25,69 @@ from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.obs import ObsConfig
 from repro.obs.capture import ObsCapture, activate, deactivate
 from repro.obs.export import write_metrics, write_trace
+
+
+def _resolve_workers(args) -> int:
+    """``--workers N`` wins; ``--parallel`` means one worker per CPU."""
+    if args.workers is not None:
+        if args.workers < 0:
+            raise SystemExit(f"--workers must be >= 0, got {args.workers}")
+        return args.workers
+    if args.parallel:
+        return os.cpu_count() or 1
+    return 0
+
+
+def _sweep(args) -> int:
+    from repro.parallel import METRICS, run_sweep_parallel
+    from repro.workload.spec import WorkloadSpec
+
+    workers = _resolve_workers(args)
+    # Multi-valued arguments become sweep axes; single values pin the
+    # base spec.  Declared order fixes the enumeration (= output) order.
+    axis_args = (("lock_kind", args.lock_kind), ("n_nodes", args.nodes),
+                 ("threads_per_node", args.threads), ("n_locks", args.locks),
+                 ("locality_pct", args.locality))
+    base_kwargs = dict(warmup_ns=args.warmup_ns, measure_ns=args.measure_ns,
+                       think_ns=args.think_ns, cs_ns=args.cs_ns,
+                       ops_per_thread=args.ops, audit="off")
+    axes: dict[str, list] = {}
+    for field_name, values in axis_args:
+        if len(values) == 1:
+            base_kwargs[field_name] = values[0]
+        else:
+            axes[field_name] = list(values)
+    base = WorkloadSpec(seed=args.seeds[0], **base_kwargs)
+    if args.metric not in METRICS:
+        raise SystemExit(f"unknown --metric {args.metric!r}; "
+                         f"choose from {sorted(METRICS)}")
+
+    done = {"n": 0}
+
+    def _progress(res) -> None:
+        done["n"] += 1
+        status = "ok" if res.ok else "FAILED"
+        print(f"  [{done['n']}] cell {res.key} {status}", file=sys.stderr)
+
+    result = run_sweep_parallel(
+        base, axes, seeds=args.seeds, workers=workers, metric=args.metric,
+        on_result=_progress if args.progress else None)
+    print(f"swept {len(result.results)} cells "
+          f"({len(result.failures)} failed) with "
+          f"{result.workers} worker(s) in {result.elapsed_s:.1f}s")
+    for res in result.results:
+        if res.ok:
+            axis_desc = " ".join(f"{k}={v}" for k, v in res.key[1:])
+            print(f"  {axis_desc}: {args.metric}={res.row['metric']:.0f}")
+    for res in result.failures:
+        first_line = (res.error or "").splitlines()[0]
+        print(f"  FAILED {res.key}: {first_line}", file=sys.stderr)
+    result.write(json_path=args.json_out, csv_path=args.csv_out)
+    if args.json_out:
+        print(f"json: {args.json_out}")
+    if args.csv_out:
+        print(f"csv: {args.csv_out}")
+    return 1 if result.failures else 0
 
 
 def _parse_lock_options(pairs: list[str]) -> tuple:
@@ -112,6 +179,47 @@ def main(argv: list[str] | None = None) -> int:
     run_p.add_argument("--metrics-out", default=None, metavar="FILE",
                        help="write the per-run metrics-registry snapshots "
                             "as flat JSON")
+    run_p.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="shard experiment cells over N worker processes "
+                            "(results are identical to a serial run; 0/1 = "
+                            "serial)")
+    run_p.add_argument("--parallel", action="store_true",
+                       help="shorthand for --workers <cpu count>")
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="grid sweep over workload axes with the parallel engine; "
+             "multi-valued options become axes, JSON/CSV output is "
+             "byte-identical at any worker count")
+    sweep_p.add_argument("--lock", nargs="+", default=["alock"],
+                         dest="lock_kind", metavar="KIND")
+    sweep_p.add_argument("--nodes", nargs="+", type=int, default=[2])
+    sweep_p.add_argument("--threads", nargs="+", type=int, default=[2],
+                         help="threads per node")
+    sweep_p.add_argument("--locks", nargs="+", type=int, default=[100])
+    sweep_p.add_argument("--locality", nargs="+", type=float, default=[90.0],
+                         help="locality percentages")
+    sweep_p.add_argument("--seeds", nargs="+", type=int, default=[0],
+                         help="root seeds (outermost axis when several)")
+    sweep_p.add_argument("--metric", default="throughput",
+                         help="row metric: throughput, p50, p99, p999, "
+                              "mean_latency")
+    sweep_p.add_argument("--ops", type=int, default=0,
+                         help="count mode: exact ops per thread "
+                              "(0 = duration mode)")
+    sweep_p.add_argument("--warmup-ns", type=float, default=200_000.0)
+    sweep_p.add_argument("--measure-ns", type=float, default=1_000_000.0)
+    sweep_p.add_argument("--think-ns", type=float, default=0.0)
+    sweep_p.add_argument("--cs-ns", type=float, default=0.0)
+    sweep_p.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="worker processes (0/1 = serial)")
+    sweep_p.add_argument("--parallel", action="store_true",
+                         help="shorthand for --workers <cpu count>")
+    sweep_p.add_argument("--json", default=None, dest="json_out",
+                         metavar="FILE", help="write canonical JSON here")
+    sweep_p.add_argument("--csv", default=None, dest="csv_out",
+                         metavar="FILE", help="write canonical CSV here")
+    sweep_p.add_argument("--progress", action="store_true",
+                         help="print each cell as it completes (stderr)")
     exp_p = sub.add_parser(
         "explore",
         help="schedule exploration: hunt interleaving bugs in the real "
@@ -159,14 +267,24 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "explore":
         return _explore(args)
 
+    if args.command == "sweep":
+        return _sweep(args)
+
     if args.command == "list":
         for exp_id in EXPERIMENTS:
             print(exp_id)
         return 0
 
     ids = list(EXPERIMENTS) if args.experiments == ["all"] else args.experiments
+    workers = _resolve_workers(args)
     capture = None
     if args.trace_out or args.metrics_out:
+        if workers > 1:
+            # Span/metric capture hooks the runner in *this* process;
+            # pool workers would silently escape it.
+            print("note: --trace-out/--metrics-out require in-process "
+                  "runs; ignoring --workers/--parallel", file=sys.stderr)
+            workers = 0
         capture = activate(ObsCapture(ObsConfig(
             spans=bool(args.trace_out), metrics=bool(args.metrics_out))))
     failed = []
@@ -176,7 +294,8 @@ def main(argv: list[str] | None = None) -> int:
             # Wall-clock here times the *host* run for the operator's
             # progress line; it never feeds simulation state or results.
             start = time.perf_counter()  # simlint: ignore[nondet-source]
-            result = run_experiment(exp_id, scale=args.scale, seed=args.seed)
+            result = run_experiment(exp_id, scale=args.scale, seed=args.seed,
+                                    workers=workers)
             elapsed = time.perf_counter() - start  # simlint: ignore[nondet-source]
             report = result.to_markdown()
             reports.append(report)

@@ -11,24 +11,34 @@ Paper shape: rise → peak at a small thread count → decline.
 
 from __future__ import annotations
 
-from repro.experiments.base import ExperimentResult, scale_params
+from repro.experiments.base import ExperimentResult, prefetch_runs, scale_params
 from repro.workload import WorkloadSpec, run_workload
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def _spec(threads: int, *, params: dict, seed: int) -> WorkloadSpec:
+    return WorkloadSpec(
+        n_nodes=1, threads_per_node=threads, n_locks=1000,
+        locality_pct=100.0, lock_kind="spinlock",
+        warmup_ns=params["warmup_ns"], measure_ns=params["measure_ns"],
+        seed=seed, audit="off")
+
+
+def run(scale: str = "small", seed: int = 0,
+        workers: int = 0) -> ExperimentResult:
     params = scale_params(scale)
     result = ExperimentResult(
         "fig1", "RDMA spinlock with 1k locks on 1 node (loopback saturation)",
         scale)
     threads_axis = params["fig1_threads"]
+    prefetched = prefetch_runs(
+        (_spec(threads, params=params, seed=seed) for threads in threads_axis),
+        workers)
     throughputs = []
     for threads in threads_axis:
-        spec = WorkloadSpec(
-            n_nodes=1, threads_per_node=threads, n_locks=1000,
-            locality_pct=100.0, lock_kind="spinlock",
-            warmup_ns=params["warmup_ns"], measure_ns=params["measure_ns"],
-            seed=seed, audit="off")
-        run_result = run_workload(spec)
+        spec = _spec(threads, params=params, seed=seed)
+        run_result = prefetched.get(spec)
+        if run_result is None:
+            run_result = run_workload(spec)
         tput = run_result.throughput_ops_per_sec
         throughputs.append(tput)
         rx = run_result.nic_stats[0]

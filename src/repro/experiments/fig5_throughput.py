@@ -21,7 +21,8 @@ Paper shapes asserted per row of panels:
 
 from __future__ import annotations
 
-from repro.experiments.base import CONTENTION_LOCKS, ExperimentResult, is_strict, scale_params
+from repro.experiments.base import (CONTENTION_LOCKS, ExperimentResult,
+                                    is_strict, prefetch_runs, scale_params)
 from repro.workload import WorkloadSpec, run_workload
 
 LOCKS = ("alock", "spinlock", "mcs")
@@ -34,18 +35,59 @@ def _panel_name(row: int, col: int) -> str:
     return _PANEL_NAMES[row * 4 + col]
 
 
-def _throughput(lock_kind: str, *, n_nodes: int, threads: int, n_locks: int,
-                locality: float, params: dict, seed: int) -> float:
-    spec = WorkloadSpec(
+def _spec(lock_kind: str, *, n_nodes: int, threads: int, n_locks: int,
+          locality: float, params: dict, seed: int) -> WorkloadSpec:
+    return WorkloadSpec(
         n_nodes=n_nodes, threads_per_node=threads, n_locks=max(n_locks, n_nodes),
         locality_pct=locality, lock_kind=lock_kind,
         warmup_ns=params["warmup_ns"], measure_ns=params["measure_ns"],
         seed=seed, audit="off")
-    return run_workload(spec).throughput_ops_per_sec
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def _enumerate_specs(params: dict, seed: int):
+    """Every spec :func:`run` will evaluate, in its request order.
+
+    Kept structurally parallel to the assembly loops in :func:`run`; a
+    spec missed here is still computed (serially) by the fallback in
+    ``_throughput``, so drift degrades speed, never results.
+    """
+    threads_axis = list(params["threads"])
+    for n_nodes in params["nodes"]:
+        for level, n_locks in CONTENTION_LOCKS.items():
+            for lock_kind in LOCKS:
+                for threads in threads_axis:
+                    yield _spec(lock_kind, n_nodes=n_nodes, threads=threads,
+                                n_locks=n_locks, locality=REFERENCE_LOCALITY,
+                                params=params, seed=seed)
+            if level == "low":
+                for locality in params["localities"]:
+                    if locality != REFERENCE_LOCALITY:
+                        yield _spec("alock", n_nodes=n_nodes,
+                                    threads=threads_axis[-1], n_locks=n_locks,
+                                    locality=locality, params=params, seed=seed)
+        for lock_kind in LOCKS:
+            for threads in threads_axis:
+                yield _spec(lock_kind, n_nodes=n_nodes, threads=threads,
+                            n_locks=CONTENTION_LOCKS["high"], locality=100.0,
+                            params=params, seed=seed)
+
+
+def run(scale: str = "small", seed: int = 0,
+        workers: int = 0) -> ExperimentResult:
     params = scale_params(scale)
+    prefetched = prefetch_runs(_enumerate_specs(params, seed), workers)
+
+    def _throughput(lock_kind: str, *, n_nodes: int, threads: int,
+                    n_locks: int, locality: float, params: dict,
+                    seed: int) -> float:
+        spec = _spec(lock_kind, n_nodes=n_nodes, threads=threads,
+                     n_locks=n_locks, locality=locality, params=params,
+                     seed=seed)
+        run_result = prefetched.get(spec)
+        if run_result is None:
+            run_result = run_workload(spec)
+        return run_result.throughput_ops_per_sec
+
     result = ExperimentResult(
         "fig5", "Throughput grid: nodes x contention x locality x threads",
         scale)

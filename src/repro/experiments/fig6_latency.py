@@ -20,7 +20,8 @@ Paper shapes asserted:
 from __future__ import annotations
 
 from repro.analysis import ratio
-from repro.experiments.base import CONTENTION_LOCKS, ExperimentResult, is_strict, scale_params
+from repro.experiments.base import (CONTENTION_LOCKS, ExperimentResult,
+                                    is_strict, prefetch_runs, scale_params)
 from repro.workload import WorkloadSpec, run_workload
 
 LOCKS = ("alock", "spinlock", "mcs")
@@ -28,12 +29,29 @@ LOCALITY_ROWS = (100.0, 95.0, 90.0, 85.0)
 _PANEL_NAMES = "abcdefghijkl"
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def _spec(lock_kind: str, locality: float, n_locks: int, *, n_nodes: int,
+          threads: int, params: dict, seed: int) -> WorkloadSpec:
+    return WorkloadSpec(
+        n_nodes=n_nodes, threads_per_node=threads,
+        n_locks=n_locks, locality_pct=locality, lock_kind=lock_kind,
+        warmup_ns=params["warmup_ns"], measure_ns=params["measure_ns"],
+        seed=seed, audit="off")
+
+
+def run(scale: str = "small", seed: int = 0,
+        workers: int = 0) -> ExperimentResult:
     params = scale_params(scale)
     # Paper caption: 10-node cluster with 8 threads.  Use the scale's
     # nearest equivalent.
     n_nodes = max(params["nodes"]) if scale != "paper" else 10
     threads = 8 if 8 in params["threads"] else max(params["threads"])
+    prefetched = prefetch_runs(
+        (_spec(lock_kind, locality, n_locks, n_nodes=n_nodes,
+               threads=threads, params=params, seed=seed)
+         for locality in LOCALITY_ROWS
+         for n_locks in CONTENTION_LOCKS.values()
+         for lock_kind in LOCKS),
+        workers)
     result = ExperimentResult(
         "fig6",
         f"Latency CDFs on {n_nodes} nodes x {threads} threads "
@@ -46,14 +64,11 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
             panel = _PANEL_NAMES[row * 3 + col]
             curves = {}
             for lock_kind in LOCKS:
-                spec = WorkloadSpec(
-                    n_nodes=n_nodes, threads_per_node=threads,
-                    n_locks=n_locks, locality_pct=locality,
-                    lock_kind=lock_kind,
-                    warmup_ns=params["warmup_ns"],
-                    measure_ns=params["measure_ns"],
-                    seed=seed, audit="off")
-                run_result = run_workload(spec)
+                spec = _spec(lock_kind, locality, n_locks, n_nodes=n_nodes,
+                             threads=threads, params=params, seed=seed)
+                run_result = prefetched.get(spec)
+                if run_result is None:
+                    run_result = run_workload(spec)
                 lat = run_result.latency
                 values, probs = run_result.latency_cdf(points=50)
                 curves[lock_kind] = (values.tolist(), probs.tolist())

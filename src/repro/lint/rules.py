@@ -56,6 +56,7 @@ DEFAULT_SENSITIVE_PACKAGES: tuple[str, ...] = (
     "repro.obs",
     "repro.verification",
     "repro.schedcheck",
+    "repro.parallel",
 )
 
 
@@ -539,6 +540,108 @@ class FrozenSetattrRule(Rule):
 
 
 # --------------------------------------------------------------------------
+# rule 6: process-boundary discipline (the parallel engine's contract)
+# --------------------------------------------------------------------------
+
+#: the one module allowed to construct process pools: everything that
+#: crosses a process boundary funnels through its audited chokepoint.
+_SPAWN_CHOKEPOINTS = frozenset({"repro.parallel.engine"})
+
+_POOL_IMPORTS = frozenset({"ProcessPoolExecutor", "multiprocessing"})
+
+
+def _decorator_names(func: ast.AST) -> set[str]:
+    names = set()
+    for dec in getattr(func, "decorator_list", ()):  # bare name or attr
+        name = dotted_name(dec)
+        if name is not None:
+            names.add(name.rsplit(".", 1)[-1])
+    return names
+
+
+class ProcessBoundaryRule(Rule):
+    """Everything shipped to a worker process must be auditable.
+
+    Three module-local checks inside the sensitive packages:
+
+    * process pools (``ProcessPoolExecutor`` / ``multiprocessing``) may
+      only be touched by the engine chokepoint module — sweep shards and
+      experiment prefetches all funnel through its single, audited
+      submit loop (orphan-free shutdown, failed-chunk isolation);
+    * a ``@worker_entry`` function must be defined at module top level:
+      nested or method defs are not picklable by reference and would
+      fail only at runtime, on the first parallel run;
+    * ``<pool>.submit(fn, ...)`` where ``fn`` is defined in the same
+      module requires ``fn`` to be marked ``@worker_entry`` — the marker
+      is what `repro.parallel.cells.check_boundary_value` audits stick to.
+    """
+
+    rule_id = "process-boundary"
+    description = ("process fan-out must go through repro.parallel.engine, "
+                   "and worker entry points must be module-level functions "
+                   "marked @worker_entry")
+
+    def __init__(self,
+                 sensitive_packages: Iterable[str] = DEFAULT_SENSITIVE_PACKAGES):
+        self.sensitive_packages = tuple(sensitive_packages)
+
+    def check(self, sf: SourceFile) -> Iterator[Finding]:
+        if not sf.in_package(*self.sensitive_packages):
+            return
+        at_chokepoint = sf.module in _SPAWN_CHOKEPOINTS
+        marked: set[str] = set()
+        unmarked_defs: set[str] = set()
+        for node in sf.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if "worker_entry" in _decorator_names(node):
+                    marked.add(node.name)
+                else:
+                    unmarked_defs.add(node.name)
+        for node in ast.walk(sf.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root == "multiprocessing" and not at_chokepoint:
+                        yield self.finding(
+                            sf, node,
+                            "direct multiprocessing use outside the engine "
+                            "chokepoint; spawn workers via "
+                            "repro.parallel.engine so shutdown and "
+                            "failed-chunk isolation stay centralized")
+            elif isinstance(node, ast.ImportFrom):
+                mod = node.module or ""
+                pulled = {a.name for a in node.names}
+                if not at_chokepoint and (
+                        mod.split(".")[0] == "multiprocessing"
+                        or pulled & _POOL_IMPORTS):
+                    yield self.finding(
+                        sf, node,
+                        "process-pool import outside the engine chokepoint; "
+                        "spawn workers via repro.parallel.engine so shutdown "
+                        "and failed-chunk isolation stay centralized")
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if "worker_entry" in _decorator_names(node) and \
+                        enclosing_function(node) is not None:
+                    yield self.finding(
+                        sf, node,
+                        f"@worker_entry function '{node.name}' is nested; "
+                        f"worker entry points must be module-level defs "
+                        f"(picklable by reference) or the pool fails at "
+                        f"runtime on the first parallel run")
+            elif isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "submit" and node.args:
+                first = node.args[0]
+                if isinstance(first, ast.Name) and first.id in unmarked_defs \
+                        and first.id not in marked:
+                    yield self.finding(
+                        sf, node,
+                        f"'{first.id}' is submitted to a pool but not marked "
+                        f"@worker_entry; the marker is the contract that its "
+                        f"arguments/results pass check_boundary_value")
+
+
+# --------------------------------------------------------------------------
 # registry
 # --------------------------------------------------------------------------
 
@@ -553,6 +656,7 @@ def default_rules(
         ResourceGuardRule(sim_packages),
         RegionBypassRule(sim_packages),
         FrozenSetattrRule(),
+        ProcessBoundaryRule(sensitive_packages),
     )
 
 

@@ -157,7 +157,8 @@ class ALock(DistributedLock):
         yield from ctx.fence()
         self._sessions[ctx.gid] = (cohort, desc)
         self._note_acquired(ctx)
-        ctx.trace("cs.enter", self.name)
+        if ctx.tracer.enabled:
+            ctx.trace("cs.enter", self.name)
 
     @observed_release
     def unlock(self, ctx: "ThreadContext"):
@@ -172,7 +173,8 @@ class ALock(DistributedLock):
         # linearization point is when it *lands*, which a successor can
         # observe before this generator resumes (see base.py).
         self._note_released(ctx)
-        ctx.trace("cs.exit", self.name)
+        if ctx.tracer.enabled:
+            ctx.trace("cs.exit", self.name)
         if cohort == "local":
             yield from self._unlock_local(ctx, desc)
         else:
@@ -194,7 +196,8 @@ class ALock(DistributedLock):
 
     def _lock_remote(self, ctx: "ThreadContext", desc: Descriptor):
         prev = yield from self._swap_tail_remote(ctx, desc.ptr)
-        ctx.trace("mcs.swap", f"{self.name} cohort=REMOTE prev={RdmaPointer(prev)}")
+        if ctx.tracer.enabled:
+            ctx.trace("mcs.swap", f"{self.name} cohort=REMOTE prev={RdmaPointer(prev)}")
         if prev == 0:
             # Queue was empty: cohort leader; lock was NOT passed.
             yield from ctx.write(desc.budget_ptr, self.remote_budget)
@@ -207,9 +210,11 @@ class ALock(DistributedLock):
               if ctx.spans.enabled else None)
         budget = yield from ctx.wait_local(
             desc.budget_ptr, lambda b: b != WAITING, signed=True)
-        ctx.spans.end(sp, budget=budget)
+        if sp is not None:
+            ctx.spans.end(sp, budget=budget)
         self.passes["remote"] += 1
-        ctx.trace("mcs.passed", f"{self.name} cohort=REMOTE budget={budget}")
+        if ctx.tracer.enabled:
+            ctx.trace("mcs.passed", f"{self.name} cohort=REMOTE budget={budget}")
         if budget == 0:
             # Budget exhausted: yield to the other cohort, then reacquire.
             self.reacquires["remote"] += 1
@@ -228,15 +233,17 @@ class ALock(DistributedLock):
                 # on a budget nobody will write.
                 nxt = yield from ctx.read(desc.next_ptr)
                 if nxt == 0:
-                    ctx.trace("mcs.release",
-                              f"{self.name} cohort=REMOTE handoff abandoned")
+                    if ctx.tracer.enabled:
+                        ctx.trace("mcs.release",
+                                  f"{self.name} cohort=REMOTE handoff abandoned")
                     desc.end()
                     return
                 budget = yield from ctx.read(desc.budget_ptr, signed=True)
                 yield from self._neighbor_write(ctx, nxt + OFF_BUDGET,
                                                 budget - 1)
-                ctx.trace("mcs.pass",
-                          f"{self.name} cohort=REMOTE -> budget {budget - 1}")
+                if ctx.tracer.enabled:
+                    ctx.trace("mcs.pass",
+                              f"{self.name} cohort=REMOTE -> budget {budget - 1}")
                 desc.end()
                 return
             sp = (ctx.spans.start(ctx.actor, COHORT_HANDOVER, cohort="remote")
@@ -244,10 +251,13 @@ class ALock(DistributedLock):
             nxt = yield from ctx.wait_local(desc.next_ptr, lambda p: p != 0)
             budget = yield from ctx.read(desc.budget_ptr, signed=True)
             yield from self._neighbor_write(ctx, nxt + OFF_BUDGET, budget - 1)
-            ctx.spans.end(sp, budget=budget - 1)
-            ctx.trace("mcs.pass", f"{self.name} cohort=REMOTE -> budget {budget - 1}")
+            if sp is not None:
+                ctx.spans.end(sp, budget=budget - 1)
+            if ctx.tracer.enabled:
+                ctx.trace("mcs.pass", f"{self.name} cohort=REMOTE -> budget {budget - 1}")
         else:
-            ctx.trace("mcs.release", f"{self.name} cohort=REMOTE tail cleared")
+            if ctx.tracer.enabled:
+                ctx.trace("mcs.release", f"{self.name} cohort=REMOTE tail cleared")
         desc.end()
 
     def _neighbor_write(self, ctx: "ThreadContext", ptr: int, value: int):
@@ -270,7 +280,8 @@ class ALock(DistributedLock):
 
     def _lock_local(self, ctx: "ThreadContext", desc: Descriptor):
         prev = yield from self._swap_tail_local(ctx, desc.ptr)
-        ctx.trace("mcs.swap", f"{self.name} cohort=LOCAL prev={RdmaPointer(prev)}")
+        if ctx.tracer.enabled:
+            ctx.trace("mcs.swap", f"{self.name} cohort=LOCAL prev={RdmaPointer(prev)}")
         if prev == 0:
             yield from ctx.write(desc.budget_ptr, self.local_budget)
             self.leader_acquires["local"] += 1
@@ -282,9 +293,11 @@ class ALock(DistributedLock):
               if ctx.spans.enabled else None)
         budget = yield from ctx.wait_local(
             desc.budget_ptr, lambda b: b != WAITING, signed=True)
-        ctx.spans.end(sp, budget=budget)
+        if sp is not None:
+            ctx.spans.end(sp, budget=budget)
         self.passes["local"] += 1
-        ctx.trace("mcs.passed", f"{self.name} cohort=LOCAL budget={budget}")
+        if ctx.tracer.enabled:
+            ctx.trace("mcs.passed", f"{self.name} cohort=LOCAL budget={budget}")
         if budget == 0:
             self.reacquires["local"] += 1
             yield from peterson.acquire_local(ctx, self)
@@ -297,14 +310,16 @@ class ALock(DistributedLock):
                 # Seeded defect: see _unlock_remote.
                 nxt = yield from ctx.read(desc.next_ptr)
                 if nxt == 0:
-                    ctx.trace("mcs.release",
-                              f"{self.name} cohort=LOCAL handoff abandoned")
+                    if ctx.tracer.enabled:
+                        ctx.trace("mcs.release",
+                                  f"{self.name} cohort=LOCAL handoff abandoned")
                     desc.end()
                     return
                 budget = yield from ctx.read(desc.budget_ptr, signed=True)
                 yield from ctx.write(nxt + OFF_BUDGET, budget - 1)
-                ctx.trace("mcs.pass",
-                          f"{self.name} cohort=LOCAL -> budget {budget - 1}")
+                if ctx.tracer.enabled:
+                    ctx.trace("mcs.pass",
+                              f"{self.name} cohort=LOCAL -> budget {budget - 1}")
                 desc.end()
                 return
             sp = (ctx.spans.start(ctx.actor, COHORT_HANDOVER, cohort="local")
@@ -312,10 +327,13 @@ class ALock(DistributedLock):
             nxt = yield from ctx.wait_local(desc.next_ptr, lambda p: p != 0)
             budget = yield from ctx.read(desc.budget_ptr, signed=True)
             yield from ctx.write(nxt + OFF_BUDGET, budget - 1)
-            ctx.spans.end(sp, budget=budget - 1)
-            ctx.trace("mcs.pass", f"{self.name} cohort=LOCAL -> budget {budget - 1}")
+            if sp is not None:
+                ctx.spans.end(sp, budget=budget - 1)
+            if ctx.tracer.enabled:
+                ctx.trace("mcs.pass", f"{self.name} cohort=LOCAL -> budget {budget - 1}")
         else:
-            ctx.trace("mcs.release", f"{self.name} cohort=LOCAL tail cleared")
+            if ctx.tracer.enabled:
+                ctx.trace("mcs.release", f"{self.name} cohort=LOCAL tail cleared")
         desc.end()
 
     # -- introspection -------------------------------------------------------

@@ -35,6 +35,8 @@ OFF_NEXT = DESCRIPTOR_LAYOUT.offset_of("next")
 class Descriptor:
     """One thread's descriptor for one cohort flavor."""
 
+    __slots__ = ("ctx", "flavor", "ptr", "in_use")
+
     def __init__(self, ctx: "ThreadContext", flavor: str):
         self.ctx = ctx
         self.flavor = flavor  # "local" | "remote"
@@ -93,6 +95,8 @@ class DescriptorPool:
     exactly (reuse raises ProtocolError); ALock's ``allow_nesting``
     option switches to an unbounded pool.
     """
+
+    __slots__ = ("ctx", "flavor", "capacity", "_free", "_allocated")
 
     def __init__(self, ctx: "ThreadContext", flavor: str, capacity: int = 0):
         self.ctx = ctx

@@ -36,7 +36,8 @@ def acquire_local(ctx: "ThreadContext", lock: "ALock"):
     remote tail is NULL or the victim is no longer LOCAL.  The wait is
     event-driven on the two words — zero traffic while parked.
     """
-    ctx.trace("peterson.enter", f"{lock.name} cohort=LOCAL")
+    if ctx.tracer.enabled:
+        ctx.trace("peterson.enter", f"{lock.name} cohort=LOCAL")
     sp = (ctx.spans.start(ctx.actor, PETERSON_COMPETE, cohort="local")
           if ctx.spans.enabled else None)
     yield from ctx.write(lock.victim_ptr, COHORT_LOCAL)
@@ -60,8 +61,10 @@ def acquire_local(ctx: "ThreadContext", lock: "ALock"):
 
     why = yield from ctx.wait_local_cond(
         [lock.tail_r_ptr, lock.victim_ptr], check)
-    ctx.spans.end(sp, via=why)
-    ctx.trace("peterson.acquired", f"{lock.name} cohort=LOCAL via {why}")
+    if sp is not None:
+        ctx.spans.end(sp, via=why)
+    if ctx.tracer.enabled:
+        ctx.trace("peterson.acquired", f"{lock.name} cohort=LOCAL via {why}")
 
 
 def acquire_remote(ctx: "ThreadContext", lock: "ALock"):
@@ -72,7 +75,8 @@ def acquire_remote(ctx: "ThreadContext", lock: "ALock"):
     still locked, an ``rRead`` of the victim.  This is real NIC traffic —
     the asymmetric reacquire cost the budget policy is tuned around.
     """
-    ctx.trace("peterson.enter", f"{lock.name} cohort=REMOTE")
+    if ctx.tracer.enabled:
+        ctx.trace("peterson.enter", f"{lock.name} cohort=REMOTE")
     sp = (ctx.spans.start(ctx.actor, PETERSON_COMPETE, cohort="remote")
           if ctx.spans.enabled else None)
     yield from ctx.r_write(lock.victim_ptr, COHORT_REMOTE)
@@ -80,16 +84,20 @@ def acquire_remote(ctx: "ThreadContext", lock: "ALock"):
     while True:
         tail_l = yield from ctx.r_read(lock.tail_l_ptr)
         if tail_l == 0:
-            ctx.spans.end(sp, via="local-unlocked", spins=spins)
-            ctx.trace("peterson.acquired",
-                      f"{lock.name} cohort=REMOTE via local-unlocked "
-                      f"after {spins} spins")
+            if sp is not None:
+                ctx.spans.end(sp, via="local-unlocked", spins=spins)
+            if ctx.tracer.enabled:
+                ctx.trace("peterson.acquired",
+                          f"{lock.name} cohort=REMOTE via local-unlocked "
+                          f"after {spins} spins")
             return
         victim = yield from ctx.r_read(lock.victim_ptr)
         if victim != COHORT_REMOTE:
-            ctx.spans.end(sp, via="not-victim", spins=spins)
-            ctx.trace("peterson.acquired",
-                      f"{lock.name} cohort=REMOTE via not-victim "
-                      f"after {spins} spins")
+            if sp is not None:
+                ctx.spans.end(sp, via="not-victim", spins=spins)
+            if ctx.tracer.enabled:
+                ctx.trace("peterson.acquired",
+                          f"{lock.name} cohort=REMOTE via not-victim "
+                          f"after {spins} spins")
             return
         spins += 1

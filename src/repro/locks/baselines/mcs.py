@@ -160,12 +160,14 @@ class RdmaMcsLock(DistributedLock):
                 yield from self._buggy_wait(ctx, desc)
             else:
                 yield from self._poll(ctx, desc.locked_ptr, lambda v: v == 0)
-            ctx.spans.end(sp)
+            if sp is not None:
+                ctx.spans.end(sp)
             self.passes += 1
         yield from ctx.fence()
         self._sessions[ctx.gid] = desc
         self._note_acquired(ctx)
-        ctx.trace("cs.enter", self.name)
+        if ctx.tracer.enabled:
+            ctx.trace("cs.enter", self.name)
 
     @observed_release
     def unlock(self, ctx: "ThreadContext"):
@@ -174,7 +176,8 @@ class RdmaMcsLock(DistributedLock):
             raise ProtocolError(f"{ctx.actor} unlocking {self.name} without holding it")
         yield from ctx.fence()
         self._note_released(ctx)
-        ctx.trace("cs.exit", self.name)
+        if ctx.tracer.enabled:
+            ctx.trace("cs.exit", self.name)
         old = yield from ctx.r_cas(self.tail_ptr, desc.ptr, 0)
         if old != desc.ptr:
             nxt = yield from self._poll(ctx, desc.next_ptr, lambda v: v != 0)

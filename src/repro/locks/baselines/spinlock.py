@@ -65,7 +65,8 @@ class RdmaSpinlock(DistributedLock):
                 yield ctx.env.timeout(delay)
         yield from ctx.fence()
         self._note_acquired(ctx)
-        ctx.trace("cs.enter", f"{self.name} after {attempts} rCAS")
+        if ctx.tracer.enabled:
+            ctx.trace("cs.enter", f"{self.name} after {attempts} rCAS")
 
     @observed_release
     def unlock(self, ctx: "ThreadContext"):
@@ -74,7 +75,8 @@ class RdmaSpinlock(DistributedLock):
         yield from ctx.fence()
         # Oracle updated before the release op is issued (see base.py).
         self._note_released(ctx)
-        ctx.trace("cs.exit", self.name)
+        if ctx.tracer.enabled:
+            ctx.trace("cs.exit", self.name)
         yield from ctx.r_write(self.word_ptr, 0)
 
 

@@ -17,20 +17,19 @@ RNIC.  It provides 8-byte word operations at three call sites:
   variable" is modeled without polling: the spinner parks on a watcher
   and the predecessor's (possibly remote) write wakes it.
 
-All stored values are raw 64-bit patterns (numpy ``uint64``); helpers
-convert to/from two's-complement for signed fields such as budgets.
+All stored values are raw 64-bit patterns (unsigned ints, masked on
+store); helpers convert to/from two's-complement for signed fields such
+as budgets.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional
 
-import numpy as np
-
 from repro.common.errors import MemoryError_
 from repro.memory.pointer import CACHE_LINE, WORD_SIZE, pack_ptr
 from repro.memory.races import LOCAL_READ, LOCAL_RMW, LOCAL_WRITE, RaceAuditor
-from repro.sim.core import Environment, Event
+from repro.sim.core import PENDING, Environment, Event
 
 _MASK64 = (1 << 64) - 1
 _SIGN_BIT = 1 << 63
@@ -56,6 +55,10 @@ class MemoryRegion:
         auditor: shared :class:`RaceAuditor`; ``None`` disables auditing.
     """
 
+    __slots__ = ("env", "node_id", "size", "auditor", "_words",
+                 "_alloc_cursor", "_watchers", "_node_label", "local_reads",
+                 "local_writes", "local_rmws", "remote_ops_landed")
+
     def __init__(self, env: Environment, node_id: int, size_bytes: int,
                  auditor: Optional[RaceAuditor] = None):
         if size_bytes <= 0 or size_bytes % CACHE_LINE != 0:
@@ -65,11 +68,18 @@ class MemoryRegion:
         self.node_id = node_id
         self.size = size_bytes
         self.auditor = auditor
-        self._words = np.zeros(size_bytes // WORD_SIZE, dtype=np.uint64)
+        # Raw 64-bit patterns as plain ints: the word store is touched on
+        # every lock/memory op, and per-access numpy-scalar conversion
+        # costs more than the denser array buys at these region sizes.
+        # The list is virtual-zero beyond its current length and grows on
+        # first store, so constructing a 20-node cluster does not pay for
+        # 4 MiB of untouched words per region.
+        self._words: list[int] = [0] * min(size_bytes // WORD_SIZE, 4096)
         # First cache line reserved so byte address 0 is never a live object
         # and the packed pointer value 0 can serve as NULL.
         self._alloc_cursor = CACHE_LINE
         self._watchers: dict[int, list[Event]] = {}
+        self._node_label = f"n{node_id}"
         # statistics
         self.local_reads = 0
         self.local_writes = 0
@@ -112,19 +122,24 @@ class MemoryRegion:
 
     # -- raw access (no auditing; internal + tests) -----------------------
     def peek(self, addr: int) -> int:
-        return int(self._words[self._word_index(addr)])
+        idx = self._word_index(addr)
+        words = self._words
+        return words[idx] if idx < len(words) else 0
 
     def peek_signed(self, addr: int) -> int:
         return to_signed(self.peek(addr))
 
     def _store(self, addr: int, value: int) -> None:
         idx = self._word_index(addr)
-        self._words[idx] = np.uint64(value & _MASK64)
+        raw = value & _MASK64
+        words = self._words
+        if idx >= len(words):
+            words.extend([0] * (idx + 1024 - len(words)))
+        words[idx] = raw
         watchers = self._watchers.pop(idx, None)
         if watchers:
-            raw = int(self._words[idx])
             for ev in watchers:
-                if not ev.triggered:
+                if ev._value is PENDING:
                     ev.succeed((addr, raw))
 
     # -- local API (shared-memory operations) ------------------------------
@@ -190,15 +205,16 @@ class MemoryRegion:
         """One-shot event fired by the next write to ``addr`` (local or
         remote).  Value: ``(addr, raw_value)``."""
         idx = self._word_index(addr)
-        ev = self.env.event()
-        ev.info = ("watch", f"n{self.node_id}", f"{addr:#x}")
+        ev = Event(self.env)
+        # addr stays an int; the deadlock diagnostics stringify lazily.
+        ev.info = ("watch", self._node_label, addr)
         self._watchers.setdefault(idx, []).append(ev)
         return ev
 
     def watch_any(self, addrs: Iterable[int]) -> Event:
         """One-shot event fired by the next write to *any* of ``addrs``."""
-        ev = self.env.event()
-        ev.info = ("watch", f"n{self.node_id}")
+        ev = Event(self.env)
+        ev.info = ("watch", self._node_label)
         for addr in addrs:
             idx = self._word_index(addr)
             self._watchers.setdefault(idx, []).append(ev)

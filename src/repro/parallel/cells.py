@@ -1,0 +1,121 @@
+"""Sweep cells: the unit of work the parallel engine ships to workers.
+
+A *cell* is one sealed, seeded simulation run: a :class:`WorkloadSpec`
+plus a stable **cell key**.  Because every run is deterministic given
+its spec (the repo-wide seed discipline), a cell can execute in any
+process, in any order, and produce the same result — which is what
+makes fan-out safe (see docs/architecture.md § Parallel experiments).
+
+The process boundary is deliberately narrow:
+
+* a worker *receives* only :class:`SweepCell` values — frozen
+  dataclasses of primitives (the spec itself is primitives + an
+  optional frozen :class:`~repro.faults.FaultPlan`);
+* a worker *returns* only :class:`CellResult` values — primitives
+  again (the row dict is ``summary_row()`` output, not live objects).
+
+No :class:`~repro.sim.core.Environment`, cluster, lock, or numpy buffer
+ever crosses the boundary; each worker builds its own world from the
+spec.  The :func:`worker_entry` marker plus simlint's
+``process-boundary`` rule keep it that way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, is_dataclass
+from typing import Callable, Optional, TypeVar
+
+from repro.common.errors import ConfigError
+from repro.workload.spec import WorkloadSpec
+
+_F = TypeVar("_F", bound=Callable)
+
+#: Types allowed to cross the process boundary (recursively, through
+#: tuples/dicts/dataclasses).  Used by :func:`check_boundary_value` and
+#: the tests/parallel boundary audit.
+_PRIMITIVES = (bool, int, float, str, bytes, type(None))
+
+
+def worker_entry(fn: _F) -> _F:
+    """Mark ``fn`` as a process-pool entry point.
+
+    The marker is a no-op at runtime; it exists so simlint's
+    ``process-boundary`` rule (and human readers) can find every
+    function whose arguments cross a process boundary and check that
+    those arguments are annotated as cell specs / primitives only.
+    """
+    fn.__is_worker_entry__ = True
+    return fn
+
+
+def check_boundary_value(value, path: str = "cell") -> None:
+    """Raise :class:`ConfigError` if ``value`` contains anything beyond
+    primitives, tuples/lists/dicts of primitives, or frozen dataclasses
+    thereof.  This is the runtime side of the process-boundary
+    contract; the engine audits every cell before submitting it."""
+    if isinstance(value, _PRIMITIVES):
+        return
+    if isinstance(value, (tuple, list)):
+        for i, item in enumerate(value):
+            check_boundary_value(item, f"{path}[{i}]")
+        return
+    if isinstance(value, dict):
+        for k, v in value.items():
+            check_boundary_value(k, f"{path} key {k!r}")
+            check_boundary_value(v, f"{path}[{k!r}]")
+        return
+    if is_dataclass(value) and not isinstance(value, type):
+        for f in fields(value):
+            check_boundary_value(getattr(value, f.name), f"{path}.{f.name}")
+        return
+    raise ConfigError(
+        f"{path}: {type(value).__name__!r} may not cross the process "
+        f"boundary — cells must be primitive-keyed specs (no live "
+        f"Environment/Cluster/lock objects)")
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One schedulable unit: ``key`` identifies it, ``spec`` seals it.
+
+    Attributes:
+        index: position in enumeration order.  The merge step orders
+            results by key, whose first element is this index, so the
+            merged output is byte-identical to a serial run.
+        key: stable primitive tuple ``(index, (axis, value), ...)``.
+        spec: the sealed run description (includes the seed).
+    """
+
+    index: int
+    key: tuple
+    spec: WorkloadSpec
+
+    def __post_init__(self) -> None:
+        check_boundary_value(self.key, "cell.key")
+        check_boundary_value(self.spec, "cell.spec")
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """What one cell produced — primitives only.
+
+    ``ok`` distinguishes a measured row from a recorded failure: a
+    worker exception becomes a failed cell (``error`` carries the
+    ``repr`` + traceback text), never a lost sweep.
+    """
+
+    key: tuple
+    ok: bool
+    row: Optional[dict] = field(default=None)
+    error: Optional[str] = field(default=None)
+
+    def __post_init__(self) -> None:
+        check_boundary_value(self.key, "result.key")
+        if self.row is not None:
+            check_boundary_value(self.row, "result.row")
+
+
+def cell_key(index: int, overrides: dict) -> tuple:
+    """The stable cell key: enumeration index first (so key order *is*
+    serial order), then the axis assignments that produced the cell."""
+    return (index,) + tuple((axis, overrides[axis]) for axis in overrides)

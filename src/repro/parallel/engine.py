@@ -1,0 +1,218 @@
+"""The process-pool experiment engine.
+
+Shards sweep cells across worker processes and merges their results
+deterministically.  The engine exploits the repo's central invariant:
+every run is a *sealed seeded cell* — ``run_workload(spec)`` is a pure
+function of the spec — so replication across processes cannot change
+any result, only the wall-clock time to produce it.
+
+Scheduling is **chunked work-stealing**: cells are split into small
+contiguous chunks, every chunk is submitted up front, and the pool's
+workers pull the next chunk the moment they finish one.  Heterogeneous
+cells (a 20-node × 12-thread cell takes ~50× a 3-node smoke cell) thus
+load-balance without any cost model.
+
+Failure containment is per cell: a worker exception is caught *inside*
+the worker and returned as a failed :class:`CellResult` (repr +
+traceback), so one diverging cell never loses a sweep.  A chunk lost to
+a worker crash (pool broken, unpicklable result) is recorded the same
+way for every cell in the chunk.
+
+``KeyboardInterrupt`` (or any error) in the parent cancels all pending
+chunks and shuts the pool down *waiting* for workers to exit, so an
+aborted sweep leaves no orphan processes behind.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, wait
+from typing import Callable, Optional, Sequence
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.parallel.cells import CellResult, SweepCell, worker_entry
+from repro.workload.metrics import RunResult
+from repro.workload.runner import run_workload
+from repro.workload.spec import WorkloadSpec
+
+#: Named metrics a cell row records under ``"metric"``.  Referenced by
+#: name so the choice crosses the process boundary as a string, never a
+#: callable.
+METRICS: dict[str, Callable[[RunResult], float]] = {
+    "throughput": lambda r: r.throughput_ops_per_sec,
+    "p50": lambda r: r.latency.p50,
+    "p99": lambda r: r.latency.p99,
+    "p999": lambda r: r.latency.p999,
+    "mean_latency": lambda r: r.latency.mean,
+}
+
+
+def _cell_row(result: RunResult, metric: str) -> dict:
+    """The primitive row a cell contributes to the merged output."""
+    row = result.summary_row()
+    row["metric"] = float(METRICS[metric](result))
+    return row
+
+
+@worker_entry
+def run_cell_chunk(chunk: "tuple[SweepCell, ...]", metric: str = "throughput") -> list[CellResult]:
+    """Worker entry point: execute one chunk of sealed cells.
+
+    Receives only :class:`SweepCell` values (primitive-keyed specs) and
+    a metric *name*; builds each cell's whole world — cluster, locks,
+    workload — inside this process.  Exceptions become failed-cell
+    records; they never escape the chunk.
+    """
+    out: list[CellResult] = []
+    for cell in chunk:
+        try:
+            result = run_workload(cell.spec)
+            out.append(CellResult(key=cell.key, ok=True,
+                                  row=_cell_row(result, metric)))
+        except Exception as exc:
+            out.append(CellResult(
+                key=cell.key, ok=False,
+                error=f"{exc!r}\n{traceback.format_exc()}"))
+    return out
+
+
+@worker_entry
+def run_spec_chunk(chunk: "tuple[WorkloadSpec, ...]") -> list[RunResult]:
+    """Worker entry point for the experiment prefetch path: execute a
+    chunk of specs and return the full (picklable) :class:`RunResult`
+    values.  Exceptions propagate — an experiment run is not allowed to
+    silently drop a cell."""
+    return [run_workload(spec) for spec in chunk]
+
+
+def default_chunk_size(n_items: int, workers: int) -> int:
+    """Small chunks for work-stealing, large enough to amortize IPC:
+    aim for ~4 chunks per worker, capped at 8 cells per chunk."""
+    if n_items <= 0:
+        return 1
+    return max(1, min(8, -(-n_items // (max(1, workers) * 4))))
+
+
+def _chunks(items: Sequence, size: int) -> list[tuple]:
+    return [tuple(items[i:i + size]) for i in range(0, len(items), size)]
+
+
+def _execute_chunks(chunks: list[tuple], submit_fn, workers: int,
+                    executor_factory: Optional[Callable[[int], Executor]],
+                    on_chunk_done: Callable[[int, object, Optional[BaseException]], None]) -> None:
+    """Run every chunk on a pool, reporting ``(chunk_index, value, error)``
+    to ``on_chunk_done`` in completion order.  Guarantees the pool is
+    fully shut down — workers joined — before returning or raising."""
+    if executor_factory is not None:
+        executor = executor_factory(workers)
+    else:
+        executor = ProcessPoolExecutor(max_workers=workers)
+    try:
+        pending = {executor.submit(*submit_fn(chunk)): i
+                   for i, chunk in enumerate(chunks)}
+        while pending:
+            done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+            for fut in done:
+                idx = pending.pop(fut)
+                error = fut.exception()
+                value = None if error is not None else fut.result()
+                on_chunk_done(idx, value, error)
+    except BaseException:
+        # Interrupt/crash in the parent: drop what hasn't started and
+        # wait for in-flight workers so no orphan processes survive.
+        executor.shutdown(wait=True, cancel_futures=True)
+        raise
+    executor.shutdown(wait=True)
+
+
+def run_cells(cells: Sequence[SweepCell], *, workers: int = 0,
+              metric: str = "throughput", chunk_size: Optional[int] = None,
+              on_result: Optional[Callable[[CellResult], None]] = None,
+              executor_factory: Optional[Callable[[int], Executor]] = None
+              ) -> list[CellResult]:
+    """Execute ``cells`` and return their results **in cell-key order**
+    (= enumeration order), regardless of worker count or completion
+    order — the deterministic-merge guarantee.
+
+    Args:
+        cells: sealed cells (see :func:`repro.parallel.sweep.enumerate_grid`).
+        workers: ``<= 1`` runs inline (the serial path, no pool at all);
+            ``N > 1`` shards over N processes.
+        metric: named metric recorded in each row (see :data:`METRICS`).
+        chunk_size: cells per work-stealing chunk; default
+            :func:`default_chunk_size`.
+        on_result: progress callback, invoked in **completion** order
+            (not merge order) with each :class:`CellResult`.
+        executor_factory: test seam; ``workers -> Executor``.
+    """
+    if metric not in METRICS:
+        raise ConfigError(f"unknown metric {metric!r}; choose from {sorted(METRICS)}")
+    cells = list(cells)
+    if workers <= 1 and executor_factory is None:
+        # Serial reference path: same worker function, same process.
+        out = []
+        for cell in cells:
+            res = run_cell_chunk((cell,), metric)[0]
+            if on_result is not None:
+                on_result(res)
+            out.append(res)
+        return out
+
+    size = chunk_size if chunk_size else default_chunk_size(len(cells), workers)
+    chunks = _chunks(cells, size)
+    merged: dict[tuple, CellResult] = {}
+
+    def on_chunk_done(idx: int, value, error: Optional[BaseException]) -> None:
+        results = value
+        if error is not None:
+            # The whole chunk died (worker crash / broken pool): record
+            # every cell of the chunk as failed, keep the sweep going.
+            results = [CellResult(key=cell.key, ok=False,
+                                  error=f"chunk failure: {error!r}")
+                       for cell in chunks[idx]]
+        for res in results:
+            merged[res.key] = res
+            if on_result is not None:
+                on_result(res)
+
+    _execute_chunks(chunks, lambda chunk: (run_cell_chunk, chunk, metric),
+                    workers, executor_factory, on_chunk_done)
+    missing = [cell.key for cell in cells if cell.key not in merged]
+    if missing:  # pragma: no cover - defensive
+        raise SimulationError(f"sweep lost cells {missing[:3]}...")
+    return [merged[cell.key] for cell in cells]
+
+
+def pmap_workloads(specs: Sequence[WorkloadSpec], *, workers: int = 0,
+                   chunk_size: Optional[int] = None,
+                   executor_factory: Optional[Callable[[int], Executor]] = None
+                   ) -> list[RunResult]:
+    """Run every spec and return full :class:`RunResult` values in input
+    order.  The experiment-module fan-out path: results are exactly what
+    ``run_workload`` would have produced serially (sealed seeded cells),
+    so callers assemble tables/series byte-identically.
+
+    Unlike :func:`run_cells` a worker exception here propagates — paper
+    experiments must not silently drop cells."""
+    specs = list(specs)
+    if workers <= 1 and executor_factory is None:
+        return [run_workload(spec) for spec in specs]
+    size = chunk_size if chunk_size else default_chunk_size(len(specs), workers)
+    chunks = _chunks(specs, size)
+    by_chunk: dict[int, list[RunResult]] = {}
+    failures: list[BaseException] = []
+
+    def on_chunk_done(idx: int, value, error: Optional[BaseException]) -> None:
+        if error is not None:
+            failures.append(error)
+        else:
+            by_chunk[idx] = value
+
+    _execute_chunks(chunks, lambda chunk: (run_spec_chunk, chunk),
+                    workers, executor_factory, on_chunk_done)
+    if failures:
+        raise failures[0]
+    out: list[RunResult] = []
+    for i in range(len(chunks)):
+        out.extend(by_chunk[i])
+    return out

@@ -50,7 +50,7 @@ from repro.obs import FAULT_RETRY, VERB_RTT, Observability
 from repro.rdma.config import RdmaConfig
 from repro.rdma.nic import Rnic
 from repro.rdma.qp import qp_id
-from repro.sim.core import Environment
+from repro.sim.core import Environment, Timeout
 
 _VERBS = ("rRead", "rWrite", "rCAS", "rFAA")
 
@@ -87,6 +87,12 @@ class RdmaNetwork:
         # _observed wrapper frame and run the exact pre-obs code path
         self._obs_on = ((self._spans is not None and self._spans.enabled)
                         or self._h_rtt is not None)
+        # Per-verb latency parameters cached off the (immutable) config:
+        # every verb consults the fabric latency twice per round trip, and
+        # the config-object attribute chain is hot enough to matter.
+        self._one_way_latency_ns = config.fabric.one_way_latency_ns
+        self._jitter_ns = config.fabric.jitter_ns
+        self._n_nodes = len(regions)
         # statistics
         self.verb_counts = {"rRead": 0, "rWrite": 0, "rCAS": 0, "rFAA": 0}
         self.loopback_verbs = 0
@@ -95,15 +101,14 @@ class RdmaNetwork:
     def _route(self, src_node: int, ptr: int) -> tuple[int, int, MemoryRegion, bool]:
         dst = ptr_node(ptr)
         addr = ptr_addr(ptr)
-        if not 0 <= dst < len(self.regions):
+        if not 0 <= dst < self._n_nodes:
             raise MemoryError_(f"pointer targets unknown node {dst}")
         return dst, addr, self.regions[dst], dst == src_node
 
     def _fabric_delay(self) -> float:
-        fab = self.config.fabric
-        d = fab.one_way_latency_ns
-        if fab.jitter_ns > 0 and self._jitter_rng is not None:
-            d += float(self._jitter_rng.uniform(0.0, fab.jitter_ns))
+        d = self._one_way_latency_ns
+        if self._jitter_ns > 0 and self._jitter_rng is not None:
+            d += float(self._jitter_rng.uniform(0.0, self._jitter_ns))
         return d
 
     def _transit(self, src_nic: Rnic, loopback: bool):
@@ -111,12 +116,12 @@ class RdmaNetwork:
         if loopback:
             yield from src_nic.loopback_turnaround()
         else:
-            yield self.env.timeout(self._fabric_delay())
+            yield Timeout(self.env, self._fabric_delay())
 
     def _return_path(self, src_nic: Rnic, loopback: bool):
         """ACK/response back to the requester + completion DMA."""
         if not loopback:
-            yield self.env.timeout(self._fabric_delay())
+            yield Timeout(self.env, self._fabric_delay())
         yield from src_nic.pcie_crossing()
 
     # -- fault/retry harness ----------------------------------------------
@@ -222,6 +227,9 @@ class RdmaNetwork:
             value = yield from self._observed("rRead", src_node, src_thread,
                                               dst, qp, src_nic, loopback,
                                               attempt)
+        elif self.injector is None:
+            # No fault layer: _deliver would only delegate — skip its frame.
+            value = yield from attempt()
         else:
             value = yield from self._deliver("rRead", src_node, dst, qp,
                                              src_nic, loopback, attempt)
@@ -246,6 +254,8 @@ class RdmaNetwork:
         if self._obs_on:
             yield from self._observed("rWrite", src_node, src_thread, dst,
                                       qp, src_nic, loopback, attempt)
+        elif self.injector is None:
+            yield from attempt()
         else:
             yield from self._deliver("rWrite", src_node, dst, qp, src_nic,
                                      loopback, attempt)
@@ -292,6 +302,8 @@ class RdmaNetwork:
         if self._obs_on:
             old = yield from self._observed(verb, src_node, src_thread, dst,
                                             qp, src_nic, loopback, attempt)
+        elif self.injector is None:
+            old = yield from attempt()
         else:
             old = yield from self._deliver(verb, src_node, dst, qp, src_nic,
                                            loopback, attempt)

@@ -23,12 +23,19 @@ from __future__ import annotations
 
 from repro.rdma.config import NicConfig
 from repro.rdma.qp import QpcCache
-from repro.sim.core import Environment
+from repro.sim.core import Environment, Timeout
 from repro.sim.resources import Resource
 
 
 class Rnic:
     """One node's RDMA NIC."""
+
+    __slots__ = ("env", "node_id", "config", "tx", "rx", "pcie", "qpc",
+                 "tx_ops", "rx_ops", "loopback_ops", "qpc_penalty_ns_total",
+                 "_pcie_crossing_ns", "_tx_service_ns", "_rx_service_ns",
+                 "_rx_congestion_threshold", "_rx_congestion_factor",
+                 "_rx_congestion_max_factor", "_qpc_miss_penalty_ns",
+                 "_loopback_turnaround_ns", "_atomic_window_ns")
 
     def __init__(self, env: Environment, node_id: int, config: NicConfig):
         self.env = env
@@ -38,6 +45,19 @@ class Rnic:
         self.rx = Resource(env, 1, name=f"nic{node_id}.rx")
         self.pcie = Resource(env, config.pcie_lanes, name=f"nic{node_id}.pcie")
         self.qpc = QpcCache(config.qpc_cache_entries)
+        # Per-op latency parameters, cached off the config object: the
+        # config is immutable for the lifetime of the NIC and these are
+        # read on every verb, where the chained attribute lookups show up
+        # in engine profiles.
+        self._pcie_crossing_ns = config.pcie_crossing_ns
+        self._tx_service_ns = config.tx_service_ns
+        self._rx_service_ns = config.rx_service_ns
+        self._rx_congestion_threshold = config.rx_congestion_threshold
+        self._rx_congestion_factor = config.rx_congestion_factor
+        self._rx_congestion_max_factor = config.rx_congestion_max_factor
+        self._qpc_miss_penalty_ns = config.qpc_miss_penalty_ns
+        self._loopback_turnaround_ns = config.loopback_turnaround_ns
+        self._atomic_window_ns = config.atomic_window_ns
         # statistics
         self.tx_ops = 0
         self.rx_ops = 0
@@ -49,31 +69,30 @@ class Rnic:
         """Touch the QPC cache; return the reload penalty (0 on hit)."""
         if self.qpc.access(qp):
             return 0.0
-        self.qpc_penalty_ns_total += self.config.qpc_miss_penalty_ns
-        return self.config.qpc_miss_penalty_ns
+        self.qpc_penalty_ns_total += self._qpc_miss_penalty_ns
+        return self._qpc_miss_penalty_ns
 
     def pcie_crossing(self):
         """Process fragment: one PCIe transaction."""
-        yield from self.pcie.serve(self.config.pcie_crossing_ns)
+        yield from self.pcie.serve(self._pcie_crossing_ns)
 
     def send_side(self, qp: tuple):
         """Process fragment: requester-side work for one outbound op."""
         self.tx_ops += 1
-        yield from self.pcie_crossing()
-        service = self.config.tx_service_ns + self._qpc_penalty(qp)
+        yield from self.pcie.serve(self._pcie_crossing_ns)
+        service = self._tx_service_ns + self._qpc_penalty(qp)
         yield from self.tx.serve(service)
 
     def _rx_service_time(self) -> float:
         """RX service with congestion inflation, based on the backlog
         present when this op reaches the head of the queue."""
-        cfg = self.config
-        backlog = self.rx.queue_length
-        over = backlog - cfg.rx_congestion_threshold
+        backlog = len(self.rx._queue)
+        over = backlog - self._rx_congestion_threshold
         if over <= 0:
-            return cfg.rx_service_ns
-        factor = min(1.0 + cfg.rx_congestion_factor * over,
-                     cfg.rx_congestion_max_factor)
-        return cfg.rx_service_ns * factor
+            return self._rx_service_ns
+        factor = min(1.0 + self._rx_congestion_factor * over,
+                     self._rx_congestion_max_factor)
+        return self._rx_service_ns * factor
 
     def receive_side(self, qp: tuple, *, atomic: bool = False,
                      execute=None):
@@ -95,24 +114,24 @@ class Rnic:
         # op while it is still queued behind the RX pipeline.
         yield from self.rx.acquire()
         try:
-            yield self.env.timeout(self._rx_service_time() + penalty)
+            yield Timeout(self.env, self._rx_service_time() + penalty)
             if atomic:
                 # read phase happens now; write-back lands after the window
                 result = execute("read") if execute is not None else None
-                yield self.env.timeout(self.config.atomic_window_ns)
+                yield Timeout(self.env, self._atomic_window_ns)
                 if execute is not None:
                     execute("commit")
             else:
                 result = execute() if execute is not None else None
         finally:
             self.rx.release()
-        yield from self.pcie_crossing()
+        yield from self.pcie.serve(self._pcie_crossing_ns)
         return result
 
     def loopback_turnaround(self):
         """Process fragment: internal TX→RX handoff on the same NIC."""
         self.loopback_ops += 1
-        yield self.env.timeout(self.config.loopback_turnaround_ns)
+        yield Timeout(self.env, self._loopback_turnaround_ns)
 
     # -- reporting -----------------------------------------------------
     def stats(self) -> dict:

@@ -28,6 +28,8 @@ class QpcCache:
     the reload penalty — the cache itself is timeless.
     """
 
+    __slots__ = ("capacity", "_entries", "hits", "misses", "evictions")
+
     def __init__(self, capacity: int):
         if capacity < 1:
             raise ValueError(f"QPC cache capacity must be >= 1, got {capacity}")

@@ -16,7 +16,7 @@ from collections import deque
 from typing import Any
 
 from repro.common.errors import SimulationError
-from repro.sim.core import Environment, Event
+from repro.sim.core import Environment, Event, Timeout
 
 
 class Resource:
@@ -34,6 +34,10 @@ class Resource:
     records the worst backlog, which the NIC model uses as its RX-buffer
     occupancy signal.
     """
+
+    __slots__ = ("env", "capacity", "name", "_in_use", "_queue",
+                 "_busy_integral", "_last_change", "_started_at",
+                 "peak_queue", "total_served")
 
     def __init__(self, env: Environment, capacity: int = 1, name: str = ""):
         if capacity < 1:
@@ -81,7 +85,7 @@ class Resource:
         otherwise the queued grant is eventually succeeded for a dead
         process and the slot leaks.
         """
-        ev = self.env.event()
+        ev = Event(self.env)
         ev.info = ("resource", self.name or "unnamed")
         if self._in_use < self.capacity:
             self._account()
@@ -146,10 +150,19 @@ class Resource:
         """Convenience process fragment: acquire, hold for ``service_time``,
         release.  ``yield from resource.serve(t)`` inside a process.
         Interrupt-safe in both phases: waiting cancels the request,
-        holding releases the slot."""
-        yield from self.acquire()
+        holding releases the slot.
+
+        The :meth:`acquire` protocol is inlined (and the Timeout built
+        directly) — serve() runs once per NIC pipeline stage, several
+        times per verb, so the extra generator frame is measurable."""
+        req = self.request()
         try:
-            yield self.env.timeout(service_time)
+            yield req
+        except BaseException:
+            self.cancel(req)
+            raise
+        try:
+            yield Timeout(self.env, service_time)
         finally:
             self.release()
 
@@ -160,6 +173,8 @@ class Store:
     ``put`` never blocks; ``get`` returns an event that triggers with the
     next item (immediately if one is buffered).
     """
+
+    __slots__ = ("env", "name", "_items", "_getters")
 
     def __init__(self, env: Environment, name: str = ""):
         self.env = env
@@ -193,6 +208,8 @@ class Store:
 class WaitQueue:
     """A broadcast/wakeup primitive: processes park on :meth:`wait` and a
     producer wakes one or all.  Used by the memory watcher layer."""
+
+    __slots__ = ("env", "name", "_waiters")
 
     def __init__(self, env: Environment, name: str = ""):
         self.env = env

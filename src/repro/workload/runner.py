@@ -18,6 +18,7 @@ from repro.cluster import Cluster
 from repro.common.errors import SimulationError, VerbTimeout
 from repro.locktable import DistributedLockTable
 from repro.obs import ObsConfig
+from repro.sim.core import Timeout
 from repro.obs import capture as obs_capture
 from repro.workload.generator import LockPicker
 from repro.workload.metrics import RunResult
@@ -73,10 +74,18 @@ def run_workload(spec: WorkloadSpec, *, obs: "ObsConfig | None" = None,
             spec, node, thread,
             table.local_indices(node), table.remote_indices(node),
             cluster.rng.get("workload", node, thread))
+        # Hot-loop hoists: the table/spec fields are immutable for the
+        # run, and the leaseless path can drive the lock generator
+        # directly — table.acquire/release would only delegate, and their
+        # frames are paid on *every resume* of the lock protocol below.
+        entries = table.entries
+        leased = table.lease_ns > 0
+        ops_cap = spec.ops_per_thread
+        cs_counter, cs_ns, think_ns = spec.cs_counter, spec.cs_ns, spec.think_ns
         ops_done = 0
-        while duration_mode or ops_done < spec.ops_per_thread:
+        while duration_mode or ops_done < ops_cap:
             idx = picker.next_lock()
-            entry = table.entry(idx)
+            entry = entries[idx]
             is_local = entry.home_node == node
             start = env.now
             try:
@@ -84,21 +93,23 @@ def run_workload(spec: WorkloadSpec, *, obs: "ObsConfig | None" = None,
                 # release: it models a crashed holder, which is exactly
                 # the stall the locktable's lease monitor must detect
                 # (degraded-entry reporting), so no cleanup by design.
-                # simlint: ignore[resource-guard]
-                yield from table.acquire(ctx, idx)
+                if leased:
+                    yield from table.acquire(ctx, idx)  # simlint: ignore[resource-guard]
+                else:
+                    yield from entry.lock.lock(ctx)
                 if injector is not None:
                     # Fault layer: the holder stalls inside its CS (GC
                     # pause, preemption) — what the lease monitor catches.
                     stall_ns = injector.holder_stall(node, thread)
                     if stall_ns > 0:
                         completed["injected_cs_stalls"] += 1
-                        yield env.timeout(stall_ns)
-                if spec.cs_counter:
+                        yield Timeout(env, stall_ns)
+                if cs_counter:
                     yield from table.guarded_increment(ctx, idx)
                     completed["cs_increments"] += 1
-                if spec.cs_ns > 0:
-                    yield env.timeout(spec.cs_ns)
-                yield from table.release(ctx, idx)
+                if cs_ns > 0:
+                    yield Timeout(env, cs_ns)
+                yield from entry.lock.unlock(ctx)
             except VerbTimeout:
                 # The lock's home partition stayed unreachable past the
                 # retry budget (e.g. a long crash window): this client
@@ -120,8 +131,8 @@ def run_workload(spec: WorkloadSpec, *, obs: "ObsConfig | None" = None,
             else:
                 latencies.append(end - start)
                 local_flags.append(is_local)
-            if spec.think_ns > 0:
-                yield env.timeout(spec.think_ns)
+            if think_ns > 0:
+                yield Timeout(env, think_ns)
         if not duration_mode:
             per_thread_ops[(node, thread)] = ops_done
 

@@ -1,0 +1,98 @@
+"""The benchmark-regression gate must trip on real slowdowns and stay
+quiet inside the noise budget."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+spec = importlib.util.spec_from_file_location(
+    "check_bench_regression", REPO / "scripts" / "check_bench_regression.py")
+gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(gate)
+
+
+def _bench_file(tmp_path, name, medians: dict) -> str:
+    payload = {
+        "schema": "alock-bench-ci/1",
+        "hardware": {"cpu_count": 4, "platform": "test", "python": "3.x"},
+        "benchmarks": {
+            bench: {"median_s": m, "min_s": m, "repeats": 3,
+                    "runs_s": [m, m, m]}
+            for bench, m in medians.items()
+        },
+    }
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+BASE = {"event_dispatch": 0.010, "single_cell": 0.300}
+
+
+def _run(tmp_path, current: dict, threshold=None) -> int:
+    argv = ["--baseline", _bench_file(tmp_path, "base.json", BASE),
+            "--current", _bench_file(tmp_path, "cur.json", current)]
+    if threshold is not None:
+        argv += ["--threshold", str(threshold)]
+    return gate.main(argv)
+
+
+def test_synthetic_25pct_slowdown_fails(tmp_path, capsys):
+    rc = _run(tmp_path, {"event_dispatch": 0.0125, "single_cell": 0.300})
+    assert rc == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+
+def test_within_budget_passes(tmp_path):
+    assert _run(tmp_path, {"event_dispatch": 0.0115,
+                           "single_cell": 0.330}) == 0
+
+
+def test_improvement_passes_and_is_flagged(tmp_path, capsys):
+    rc = _run(tmp_path, {"event_dispatch": 0.005, "single_cell": 0.300})
+    assert rc == 0
+    assert "re-baselining" in capsys.readouterr().out
+
+
+def test_missing_benchmark_fails(tmp_path, capsys):
+    rc = _run(tmp_path, {"event_dispatch": 0.010})
+    assert rc == 1
+    assert "missing" in capsys.readouterr().err
+
+
+def test_new_benchmark_not_gated(tmp_path, capsys):
+    rc = _run(tmp_path, {"event_dispatch": 0.010, "single_cell": 0.300,
+                         "brand_new": 1.0})
+    assert rc == 0
+    assert "not gated" in capsys.readouterr().out
+
+
+def test_custom_threshold(tmp_path):
+    # +10% slowdown passes the default 20% gate but fails a 5% gate.
+    current = {"event_dispatch": 0.011, "single_cell": 0.300}
+    assert _run(tmp_path, current) == 0
+    assert _run(tmp_path, current, threshold=0.05) == 1
+
+
+def test_committed_baseline_is_valid():
+    """The committed baseline parses and covers the pinned scenarios."""
+    baseline = gate.load(str(REPO / "benchmarks" / "baselines"
+                             / "BENCH_ci.json"))
+    assert baseline["schema"] == "alock-bench-ci/1"
+    assert {"event_dispatch", "verb_round_trips", "single_cell",
+            "obs_overhead_run"} <= set(baseline["benchmarks"])
+    for entry in baseline["benchmarks"].values():
+        assert entry["median_s"] > 0
+
+
+def test_not_a_bench_file(tmp_path):
+    path = tmp_path / "junk.json"
+    path.write_text("{}")
+    with pytest.raises(SystemExit, match="not a bench file"):
+        gate.load(str(path))

@@ -138,6 +138,41 @@ class TestFrozenSetattrRule:
         assert rules_fired(findings) == {"frozen-setattr"}
 
 
+class TestProcessBoundaryRule:
+    MODULE = "repro.parallel.fixture"
+
+    def findings(self, module=MODULE):
+        return [f for f in lint_file(FIXTURES / "boundary.py", module=module)
+                if f.rule == "process-boundary"]
+
+    def test_fires_on_every_hazard_class(self):
+        messages = " | ".join(f.message for f in self.findings())
+        assert "process-pool import" in messages
+        assert "direct multiprocessing use" in messages
+        assert "'nested_entry' is nested" in messages
+        assert "'bare_function' is submitted" in messages
+        assert len(self.findings()) == 4
+
+    def test_marked_and_foreign_submits_are_fine(self):
+        lines = {f.line for f in self.findings()}
+        src = (FIXTURES / "boundary.py").read_text().splitlines()
+        fine_start = next(i for i, line in enumerate(src, start=1)
+                          if "fine section" in line)
+        assert not {ln for ln in lines if ln > fine_start}
+
+    def test_engine_chokepoint_may_import_pools(self):
+        findings = self.findings(module="repro.parallel.engine")
+        messages = " | ".join(f.message for f in findings)
+        assert "import" not in messages
+
+    def test_silent_outside_sensitive_packages(self):
+        assert not self.findings(module="benchmarks.fixture")
+
+    def test_repro_parallel_is_sensitive(self):
+        from repro.lint.rules import DEFAULT_SENSITIVE_PACKAGES
+        assert "repro.parallel" in DEFAULT_SENSITIVE_PACKAGES
+
+
 class TestRuleFrameworkContracts:
     def test_every_shipped_rule_has_a_distinct_id(self):
         ids = [r.rule_id for r in default_rules()]
