@@ -8,6 +8,9 @@
     alock-experiments run fig5 --scale paper --workers 8
     alock-experiments sweep --lock alock mcs --locality 85 95 \\
         --seeds 0 1 2 --workers 4 --json sweep.json --csv sweep.csv
+    alock-experiments sweep ... --cache            # memoize cells on disk
+    alock-experiments sweep ... --resume           # recompute only what the
+                                                   # cache store is missing
     alock-experiments explore --lock alock --schedules 50 --shrink
     alock-experiments explore --lock mcs --lock-option bug=lost_wakeup \\
         --lock-option poll_interval_ns=200 --nodes 1 --threads 3 --ops 3
@@ -39,10 +42,13 @@ def _resolve_workers(args) -> int:
 
 
 def _sweep(args) -> int:
-    from repro.parallel import METRICS, run_sweep_parallel
+    from repro.parallel import METRICS, ResultCache, run_sweep_parallel
     from repro.workload.spec import WorkloadSpec
 
     workers = _resolve_workers(args)
+    # --resume implies the cache; an explicit --cache/--no-cache wins.
+    cache_enabled = args.cache if args.cache is not None else args.resume
+    cache = ResultCache(args.cache_dir) if cache_enabled else None
     # Multi-valued arguments become sweep axes; single values pin the
     # base spec.  Declared order fixes the enumeration (= output) order.
     axis_args = (("lock_kind", args.lock_kind), ("n_nodes", args.nodes),
@@ -71,10 +77,15 @@ def _sweep(args) -> int:
 
     result = run_sweep_parallel(
         base, axes, seeds=args.seeds, workers=workers, metric=args.metric,
-        on_result=_progress if args.progress else None)
+        on_result=_progress if args.progress else None, cache=cache)
     print(f"swept {len(result.results)} cells "
           f"({len(result.failures)} failed) with "
           f"{result.workers} worker(s) in {result.elapsed_s:.1f}s")
+    if cache is not None:
+        verb = "resumed" if args.resume else "served"
+        print(f"cache: {verb} {result.cache_hits} cell(s) from "
+              f"{args.cache_dir}, computed {result.cache_misses} "
+              f"({cache.stats.writes} written back)")
     for res in result.results:
         if res.ok:
             axis_desc = " ".join(f"{k}={v}" for k, v in res.key[1:])
@@ -218,6 +229,19 @@ def main(argv: list[str] | None = None) -> int:
                          metavar="FILE", help="write canonical JSON here")
     sweep_p.add_argument("--csv", default=None, dest="csv_out",
                          metavar="FILE", help="write canonical CSV here")
+    sweep_p.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                         default=None,
+                         help="content-addressed result cache: unchanged "
+                              "cells are served from the store instead of "
+                              "recomputed; output bytes are identical either "
+                              "way (--no-cache disables; default off unless "
+                              "--resume)")
+    sweep_p.add_argument("--cache-dir", default=".alock-cache", metavar="DIR",
+                         help="cache store location (default .alock-cache)")
+    sweep_p.add_argument("--resume", action="store_true",
+                         help="resume an interrupted sweep: recompute only "
+                              "the cells missing from the cache store "
+                              "(implies --cache)")
     sweep_p.add_argument("--progress", action="store_true",
                          help="print each cell as it completes (stderr)")
     exp_p = sub.add_parser(

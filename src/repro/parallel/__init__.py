@@ -14,13 +14,25 @@ Quick start::
         seeds=range(3), workers=4)
     res.write(json_path="sweep.json", csv_path="sweep.csv")
 
-The output is byte-identical at any ``workers`` value.
+The output is byte-identical at any ``workers`` value — and, with a
+:class:`ResultCache`, identical again when most cells come out of the
+content-addressed store instead of a worker::
+
+    from repro.parallel import ResultCache
+
+    cache = ResultCache(".alock-cache")
+    res = run_sweep_parallel(..., workers=4, cache=cache)   # computes
+    res = run_sweep_parallel(..., workers=4, cache=cache)   # all hits
 """
 
+from repro.parallel.cache import (CacheStats, ResultCache,
+                                  SourceFingerprinter, canonical_spec)
 from repro.parallel.cells import (CellResult, SweepCell, cell_key,
                                   check_boundary_value, worker_entry)
-from repro.parallel.engine import (METRICS, default_chunk_size, pmap_workloads,
-                                   run_cells)
+from repro.parallel.engine import (METRICS, InProcessShell, ProcessPoolShell,
+                                   SweepShell, default_chunk_size,
+                                   pmap_workloads, resolve_shell, run_cells)
+from repro.parallel.store import BlobStore
 from repro.parallel.sweep import (ParallelSweepResult, enumerate_grid,
                                   run_sweep_parallel)
 
@@ -37,4 +49,13 @@ __all__ = [
     "ParallelSweepResult",
     "enumerate_grid",
     "run_sweep_parallel",
+    "CacheStats",
+    "ResultCache",
+    "SourceFingerprinter",
+    "canonical_spec",
+    "BlobStore",
+    "SweepShell",
+    "InProcessShell",
+    "ProcessPoolShell",
+    "resolve_shell",
 ]

@@ -16,7 +16,18 @@ Failure containment is per cell: a worker exception is caught *inside*
 the worker and returned as a failed :class:`CellResult` (repr +
 traceback), so one diverging cell never loses a sweep.  A chunk lost to
 a worker crash (pool broken, unpicklable result) is recorded the same
-way for every cell in the chunk.
+way for every cell in the chunk, and a *malformed* chunk — a worker
+returning the wrong shape, or rows for the wrong cells — is validated
+against the submitted chunk and recorded cell by cell, never allowed to
+abort the sweep late with a generic error.
+
+Execution runs through a pluggable **shell** seam
+(:class:`SweepShell`): the in-process shell is the serial reference
+path, the process-pool shell is today's fan-out, and a multi-host
+backend can slot in later without touching the sealed-cell interface —
+a shell only ever sees primitive chunks and returns primitive results.
+This module is the repo's only pool chokepoint (simlint
+``process-boundary``), so every shell lives here.
 
 ``KeyboardInterrupt`` (or any error) in the parent cancels all pending
 chunks and shuts the pool down *waiting* for workers to exit, so an
@@ -30,6 +41,7 @@ from concurrent.futures import FIRST_COMPLETED, Executor, ProcessPoolExecutor, w
 from typing import Callable, Optional, Sequence
 
 from repro.common.errors import ConfigError, SimulationError
+from repro.parallel.cache import ResultCache
 from repro.parallel.cells import CellResult, SweepCell, worker_entry
 from repro.workload.metrics import RunResult
 from repro.workload.runner import run_workload
@@ -97,39 +109,152 @@ def _chunks(items: Sequence, size: int) -> list[tuple]:
     return [tuple(items[i:i + size]) for i in range(0, len(items), size)]
 
 
+# --------------------------------------------------------------------------
+# the shell seam
+# --------------------------------------------------------------------------
+
+class SweepShell:
+    """Where chunks execute.  A shell receives primitive chunks (the
+    sealed-cell boundary) and reports ``(chunk_index, value, error)`` to
+    ``on_chunk_done`` in completion order; it guarantees that whatever
+    execution substrate it owns is fully torn down — workers joined —
+    before returning or raising.  Implementations today run in-process
+    or on a local process pool; a multi-host backend implements the same
+    two methods."""
+
+    #: short name for CLI/progress display.
+    name = "shell"
+
+    def run_chunks(self, chunks: "list[tuple]", submit_fn,
+                   on_chunk_done: Callable[[int, object, Optional[BaseException]], None]) -> None:
+        raise NotImplementedError
+
+
+class InProcessShell(SweepShell):
+    """The serial reference shell: chunks run one after another in this
+    process, in submission order.  This is the ``workers <= 1`` path —
+    the same worker functions, no pool at all — which is what makes the
+    byte-identity comparison against pooled runs meaningful."""
+
+    name = "in-process"
+
+    def run_chunks(self, chunks, submit_fn, on_chunk_done) -> None:
+        for idx, chunk in enumerate(chunks):
+            fn, *args = submit_fn(chunk)
+            try:
+                value, error = fn(*args), None
+            except Exception as exc:
+                value, error = None, exc
+            on_chunk_done(idx, value, error)
+
+
+class ProcessPoolShell(SweepShell):
+    """Chunked work-stealing on a local process pool."""
+
+    name = "process-pool"
+
+    def __init__(self, workers: int,
+                 executor_factory: Optional[Callable[[int], Executor]] = None):
+        self.workers = max(1, workers)
+        self.executor_factory = executor_factory
+
+    def run_chunks(self, chunks, submit_fn, on_chunk_done) -> None:
+        if self.executor_factory is not None:
+            executor = self.executor_factory(self.workers)
+        else:
+            executor = ProcessPoolExecutor(max_workers=self.workers)
+        try:
+            pending = {executor.submit(*submit_fn(chunk)): i
+                       for i, chunk in enumerate(chunks)}
+            while pending:
+                done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+                for fut in done:
+                    idx = pending.pop(fut)
+                    error = fut.exception()
+                    value = None if error is not None else fut.result()
+                    on_chunk_done(idx, value, error)
+        except BaseException:
+            # Interrupt/crash in the parent: drop what hasn't started and
+            # wait for in-flight workers so no orphan processes survive.
+            executor.shutdown(wait=True, cancel_futures=True)
+            raise
+        executor.shutdown(wait=True)
+
+
+def resolve_shell(workers: int,
+                  executor_factory: Optional[Callable[[int], Executor]] = None,
+                  shell: Optional[SweepShell] = None) -> SweepShell:
+    """Pick the execution shell: an explicit ``shell`` wins, a factory or
+    ``workers > 1`` means the pool, anything else runs in-process."""
+    if shell is not None:
+        return shell
+    if workers > 1 or executor_factory is not None:
+        return ProcessPoolShell(workers, executor_factory)
+    return InProcessShell()
+
+
 def _execute_chunks(chunks: list[tuple], submit_fn, workers: int,
                     executor_factory: Optional[Callable[[int], Executor]],
-                    on_chunk_done: Callable[[int, object, Optional[BaseException]], None]) -> None:
-    """Run every chunk on a pool, reporting ``(chunk_index, value, error)``
-    to ``on_chunk_done`` in completion order.  Guarantees the pool is
-    fully shut down — workers joined — before returning or raising."""
-    if executor_factory is not None:
-        executor = executor_factory(workers)
+                    on_chunk_done: Callable[[int, object, Optional[BaseException]], None],
+                    shell: Optional[SweepShell] = None) -> None:
+    resolve_shell(workers, executor_factory, shell).run_chunks(
+        chunks, submit_fn, on_chunk_done)
+
+
+def _validated_chunk_results(chunk: "tuple[SweepCell, ...]", idx: int,
+                             value: object,
+                             error: Optional[BaseException]) -> list[CellResult]:
+    """Reconcile whatever came back for ``chunk`` against what was
+    submitted, one :class:`CellResult` per submitted cell.
+
+    A crashed chunk fails every cell; a malformed chunk — wrong type,
+    foreign/duplicate keys, missing cells — fails exactly the cells the
+    worker did not properly answer for.  The sweep never aborts late
+    over a worker's bad return value.
+    """
+    if error is not None:
+        # The whole chunk died (worker crash / broken pool): record
+        # every cell of the chunk as failed, keep the sweep going.
+        return [CellResult(key=cell.key, ok=False,
+                           error=f"chunk failure: {error!r}")
+                for cell in chunk]
+    returned = value if isinstance(value, (list, tuple)) else None
+    by_key: dict[tuple, CellResult] = {}
+    anomalies: list[str] = []
+    if returned is None:
+        anomalies.append(f"returned {type(value).__name__!r}, "
+                         f"expected a list of CellResult")
     else:
-        executor = ProcessPoolExecutor(max_workers=workers)
-    try:
-        pending = {executor.submit(*submit_fn(chunk)): i
-                   for i, chunk in enumerate(chunks)}
-        while pending:
-            done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
-            for fut in done:
-                idx = pending.pop(fut)
-                error = fut.exception()
-                value = None if error is not None else fut.result()
-                on_chunk_done(idx, value, error)
-    except BaseException:
-        # Interrupt/crash in the parent: drop what hasn't started and
-        # wait for in-flight workers so no orphan processes survive.
-        executor.shutdown(wait=True, cancel_futures=True)
-        raise
-    executor.shutdown(wait=True)
+        for item in returned:
+            if not isinstance(item, CellResult):
+                anomalies.append(f"non-CellResult entry {type(item).__name__!r}")
+            elif item.key in by_key:
+                anomalies.append(f"duplicate key {item.key!r}")
+            else:
+                by_key[item.key] = item
+    expected = {cell.key: cell for cell in chunk}
+    for key in list(by_key):
+        if key not in expected:
+            anomalies.append(f"foreign key {key!r}")
+            del by_key[key]
+    out: list[CellResult] = []
+    for cell in chunk:
+        res = by_key.get(cell.key)
+        if res is None:
+            detail = "; ".join(anomalies) or "cell missing from returned chunk"
+            res = CellResult(key=cell.key, ok=False,
+                             error=f"malformed chunk {idx}: worker returned "
+                                   f"no result for this cell ({detail})")
+        out.append(res)
+    return out
 
 
 def run_cells(cells: Sequence[SweepCell], *, workers: int = 0,
               metric: str = "throughput", chunk_size: Optional[int] = None,
               on_result: Optional[Callable[[CellResult], None]] = None,
-              executor_factory: Optional[Callable[[int], Executor]] = None
-              ) -> list[CellResult]:
+              executor_factory: Optional[Callable[[int], Executor]] = None,
+              cache: Optional[ResultCache] = None,
+              shell: Optional[SweepShell] = None) -> list[CellResult]:
     """Execute ``cells`` and return their results **in cell-key order**
     (= enumeration order), regardless of worker count or completion
     order — the deterministic-merge guarantee.
@@ -142,77 +267,138 @@ def run_cells(cells: Sequence[SweepCell], *, workers: int = 0,
         chunk_size: cells per work-stealing chunk; default
             :func:`default_chunk_size`.
         on_result: progress callback, invoked in **completion** order
-            (not merge order) with each :class:`CellResult`.
+            (not merge order) with each :class:`CellResult`; cache hits
+            are reported first, in enumeration order.
         executor_factory: test seam; ``workers -> Executor``.
+        cache: optional :class:`~repro.parallel.cache.ResultCache` —
+            hits skip submission entirely, fresh successful results are
+            written back as they arrive, so an interrupted sweep resumes
+            from whatever the store already holds.
+        shell: optional execution shell override (see :class:`SweepShell`).
     """
     if metric not in METRICS:
         raise ConfigError(f"unknown metric {metric!r}; choose from {sorted(METRICS)}")
     cells = list(cells)
-    if workers <= 1 and executor_factory is None:
-        # Serial reference path: same worker function, same process.
-        out = []
-        for cell in cells:
-            res = run_cell_chunk((cell,), metric)[0]
-            if on_result is not None:
-                on_result(res)
-            out.append(res)
-        return out
-
-    size = chunk_size if chunk_size else default_chunk_size(len(cells), workers)
-    chunks = _chunks(cells, size)
     merged: dict[tuple, CellResult] = {}
+    if cache is not None:
+        for cell in cells:
+            hit = cache.lookup_cell(cell, metric)
+            if hit is not None:
+                merged[cell.key] = hit
+                if on_result is not None:
+                    on_result(hit)
+    misses = [cell for cell in cells if cell.key not in merged]
+
+    size = chunk_size if chunk_size else default_chunk_size(len(misses), workers)
+    chunks = _chunks(misses, size)
 
     def on_chunk_done(idx: int, value, error: Optional[BaseException]) -> None:
-        results = value
-        if error is not None:
-            # The whole chunk died (worker crash / broken pool): record
-            # every cell of the chunk as failed, keep the sweep going.
-            results = [CellResult(key=cell.key, ok=False,
-                                  error=f"chunk failure: {error!r}")
-                       for cell in chunks[idx]]
-        for res in results:
+        for res in _validated_chunk_results(chunks[idx], idx, value, error):
+            if cache is not None:
+                # Write-back precedes the progress callback so a cell is
+                # durably resumable by the time the operator sees it.
+                cache.store_cell(_cell_of(chunks[idx], res.key), metric, res)
             merged[res.key] = res
             if on_result is not None:
                 on_result(res)
 
-    _execute_chunks(chunks, lambda chunk: (run_cell_chunk, chunk, metric),
-                    workers, executor_factory, on_chunk_done)
+    def _cell_of(chunk: "tuple[SweepCell, ...]", key: tuple) -> SweepCell:
+        for cell in chunk:
+            if cell.key == key:
+                return cell
+        raise SimulationError(f"no submitted cell with key {key!r}")  # pragma: no cover
+
+    if chunks:
+        resolve_shell(workers, executor_factory, shell).run_chunks(
+            chunks, lambda chunk: (run_cell_chunk, chunk, metric),
+            on_chunk_done)
     missing = [cell.key for cell in cells if cell.key not in merged]
     if missing:  # pragma: no cover - defensive
         raise SimulationError(f"sweep lost cells {missing[:3]}...")
     return [merged[cell.key] for cell in cells]
 
 
+def _add_note(exc: BaseException, note: str) -> None:
+    """Attach ``note`` to ``exc`` — ``add_note`` on 3.11+, the plain
+    ``__notes__`` attribute on 3.10 (same shape, just not auto-printed)."""
+    add_note = getattr(exc, "add_note", None)
+    if add_note is not None:
+        add_note(note)
+    else:  # pragma: no cover - py3.10
+        notes = getattr(exc, "__notes__", None)
+        if notes is None:
+            notes = []
+            exc.__notes__ = notes
+        notes.append(note)
+
+
 def pmap_workloads(specs: Sequence[WorkloadSpec], *, workers: int = 0,
                    chunk_size: Optional[int] = None,
-                   executor_factory: Optional[Callable[[int], Executor]] = None
-                   ) -> list[RunResult]:
+                   executor_factory: Optional[Callable[[int], Executor]] = None,
+                   cache: Optional[ResultCache] = None,
+                   shell: Optional[SweepShell] = None) -> list[RunResult]:
     """Run every spec and return full :class:`RunResult` values in input
     order.  The experiment-module fan-out path: results are exactly what
     ``run_workload`` would have produced serially (sealed seeded cells),
     so callers assemble tables/series byte-identically.
 
     Unlike :func:`run_cells` a worker exception here propagates — paper
-    experiments must not silently drop cells."""
+    experiments must not silently drop cells.  When several chunks fail,
+    the first failure is raised with every other failure chained onto it
+    as ``__notes__`` naming each failed chunk's index and spec labels,
+    so no failure identity is ever discarded.
+    """
     specs = list(specs)
-    if workers <= 1 and executor_factory is None:
-        return [run_workload(spec) for spec in specs]
-    size = chunk_size if chunk_size else default_chunk_size(len(specs), workers)
-    chunks = _chunks(specs, size)
-    by_chunk: dict[int, list[RunResult]] = {}
-    failures: list[BaseException] = []
+    results: dict[int, RunResult] = {}
+    if cache is not None:
+        for i, spec in enumerate(specs):
+            hit = cache.lookup_run(spec)
+            if hit is not None:
+                results[i] = hit
+    miss_indices = [i for i in range(len(specs)) if i not in results]
+    if workers <= 1 and executor_factory is None and shell is None:
+        for i in miss_indices:
+            results[i] = run_workload(specs[i])
+            if cache is not None:
+                cache.store_run(specs[i], results[i])
+        return [results[i] for i in range(len(specs))]
+
+    size = chunk_size if chunk_size else default_chunk_size(len(miss_indices), workers)
+    index_chunks = _chunks(miss_indices, size)
+    failures: list[tuple[int, BaseException]] = []
+
+    def _chunk_desc(idx: int) -> str:
+        labels = [specs[i].label() for i in index_chunks[idx]]
+        shown = "; ".join(labels[:3])
+        if len(labels) > 3:
+            shown += f"; ... {len(labels) - 3} more"
+        return shown
 
     def on_chunk_done(idx: int, value, error: Optional[BaseException]) -> None:
         if error is not None:
-            failures.append(error)
-        else:
-            by_chunk[idx] = value
+            failures.append((idx, error))
+            return
+        for i, result in zip(index_chunks[idx], value):
+            results[i] = result
+            if cache is not None:
+                cache.store_run(specs[i], result)
 
-    _execute_chunks(chunks, lambda chunk: (run_spec_chunk, chunk),
-                    workers, executor_factory, on_chunk_done)
+    if index_chunks:
+        resolve_shell(workers, executor_factory, shell).run_chunks(
+            index_chunks,
+            lambda chunk: (run_spec_chunk, tuple(specs[i] for i in chunk)),
+            on_chunk_done)
     if failures:
-        raise failures[0]
+        failures.sort(key=lambda pair: pair[0])
+        first_idx, primary = failures[0]
+        _add_note(primary,
+                  f"pmap chunk {first_idx} failed (specs: {_chunk_desc(first_idx)})")
+        for idx, exc in failures[1:]:
+            _add_note(primary,
+                      f"also failed: chunk {idx} "
+                      f"(specs: {_chunk_desc(idx)}): {exc!r}")
+        raise primary
     out: list[RunResult] = []
-    for i in range(len(chunks)):
-        out.extend(by_chunk[i])
+    for i in range(len(specs)):
+        out.append(results[i])
     return out

@@ -1,0 +1,119 @@
+"""Content-addressed blob store backing the sweep cache.
+
+This module is the repo's **serialization chokepoint**: the only place
+in the sensitive packages allowed to (de)serialize result blobs to disk
+(enforced by simlint's ``process-boundary`` rule, the same way pool
+construction is confined to :mod:`repro.parallel.engine`).  Confining it
+here keeps two invariants checkable:
+
+* everything written passes the same primitives-only audit as the
+  process boundary (the cache layer runs ``check_boundary_value`` on
+  rows before they are stored and after they are loaded), and
+* **corruption is a miss, never a crash** — a truncated, garbled, or
+  hand-edited blob makes its cell recompute; it cannot take a sweep
+  down or, worse, silently feed it a wrong row.
+
+Layout is a git-style fan-out under the store root::
+
+    <root>/<digest[:2]>/<digest>.json   # cell rows (canonical JSON)
+    <root>/<digest[:2]>/<digest>.pkl    # full RunResults (pickle)
+
+Digests are computed by :mod:`repro.parallel.cache`; the store never
+interprets them.  Writes are atomic (temp file + ``os.replace``) so an
+interrupted sweep leaves either a whole entry or no entry — which is
+what makes ``sweep --resume`` sound.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from typing import Optional
+
+_JSON_EXT = ".json"
+_PICKLE_EXT = ".pkl"
+
+
+class BlobStore:
+    """A directory of content-addressed blobs with atomic writes.
+
+    The store is deliberately dumb: ``get_*`` returns ``None`` for
+    anything it cannot fully load and validate as its format (missing,
+    truncated, corrupt, wrong type), and ``put_*`` unconditionally
+    (re)writes.  All keying/invalidations live in the digest.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+
+    def _path(self, digest: str, ext: str) -> str:
+        if not digest or not all(c in "0123456789abcdef" for c in digest):
+            raise ValueError(f"malformed digest {digest!r}")
+        return os.path.join(self.root, digest[:2], digest + ext)
+
+    def _write_atomic(self, path: str, data: bytes) -> None:
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):  # failed mid-write: leave no debris
+                os.unlink(tmp)
+
+    # -- JSON blobs (cell rows) ------------------------------------------
+    def get_json(self, digest: str) -> Optional[dict]:
+        """Load a JSON blob; ``None`` if absent or not a JSON object."""
+        try:
+            with open(self._path(digest, _JSON_EXT), "rb") as fh:
+                payload = json.loads(fh.read().decode("utf-8"))
+        except (OSError, ValueError, UnicodeDecodeError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def put_json(self, digest: str, payload: dict) -> None:
+        data = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+        self._write_atomic(self._path(digest, _JSON_EXT), data)
+
+    # -- pickle blobs (full RunResults, pmap path) -----------------------
+    def get_pickle(self, digest: str) -> Optional[object]:
+        """Load a pickled blob; ``None`` if absent or unreadable.
+
+        The blob is trusted no further than the cache layer's
+        post-load audit — callers re-validate shape and boundary
+        safety before using anything returned here.
+        """
+        try:
+            with open(self._path(digest, _PICKLE_EXT), "rb") as fh:
+                return pickle.loads(fh.read())
+        except Exception:
+            # Any unpickling failure (truncation, version skew, garbage)
+            # is a miss by contract.
+            return None
+
+    def put_pickle(self, digest: str, value: object) -> None:
+        self._write_atomic(self._path(digest, _PICKLE_EXT),
+                           pickle.dumps(value, protocol=4))
+
+    # -- introspection ----------------------------------------------------
+    def has_json(self, digest: str) -> bool:
+        return os.path.exists(self._path(digest, _JSON_EXT))
+
+    def json_path(self, digest: str) -> str:
+        """Where a JSON entry lives (for tests and debugging)."""
+        return self._path(digest, _JSON_EXT)
+
+    def entry_count(self) -> int:
+        """Number of blobs currently stored (any format)."""
+        n = 0
+        if not os.path.isdir(self.root):
+            return 0
+        for fan in sorted(os.listdir(self.root)):
+            sub = os.path.join(self.root, fan)
+            if os.path.isdir(sub):
+                n += sum(1 for name in os.listdir(sub)
+                         if name.endswith((_JSON_EXT, _PICKLE_EXT)))
+        return n

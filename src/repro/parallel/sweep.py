@@ -27,8 +27,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+from repro.common.errors import ConfigError
+from repro.parallel.cache import ResultCache
 from repro.parallel.cells import CellResult, SweepCell, cell_key
-from repro.parallel.engine import run_cells
+from repro.parallel.engine import SweepShell, run_cells
 from repro.workload.spec import WorkloadSpec
 
 
@@ -42,6 +44,11 @@ def enumerate_grid(base: WorkloadSpec, axes: "dict[str, Sequence]",
     cell index, which is the first element of every cell key and hence
     the canonical (serial) output order.
     """
+    if seeds is not None and "seed" in axes:
+        raise ConfigError(
+            "the 'seed' axis is reserved when seeds= is given; pass the "
+            "seed values through seeds= (outermost axis) or as an "
+            "explicit axis, not both")
     all_axes: dict[str, Sequence] = {}
     if seeds is not None:
         all_axes["seed"] = list(seeds)
@@ -60,8 +67,9 @@ class ParallelSweepResult:
     """Merged outcome of a (possibly parallel) sweep.
 
     ``results`` is in cell-key order — i.e. exactly the order a serial
-    sweep would have produced.  ``workers`` and ``elapsed_s`` describe
-    how the sweep *ran* and are excluded from serialization.
+    sweep would have produced.  ``workers``, ``elapsed_s``, and the
+    cache counters describe how the sweep *ran* and are excluded from
+    serialization — a cached row and a computed row are the same row.
     """
 
     axes: tuple[str, ...]
@@ -69,6 +77,8 @@ class ParallelSweepResult:
     metric: str = "throughput"
     workers: int = 1
     elapsed_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     @property
     def rows(self) -> list[dict]:
@@ -143,23 +153,34 @@ def run_sweep_parallel(base: WorkloadSpec, axes: "dict[str, Sequence]", *,
                        workers: int = 0, metric: str = "throughput",
                        chunk_size: Optional[int] = None,
                        on_result: Optional[Callable[[CellResult], None]] = None,
-                       executor_factory=None) -> ParallelSweepResult:
+                       executor_factory=None,
+                       cache: Optional[ResultCache] = None,
+                       shell: Optional[SweepShell] = None) -> ParallelSweepResult:
     """Run a (seed × config) grid sweep, sharded over ``workers``
     processes, and return the deterministically merged result.
 
     ``workers <= 1`` runs inline in this process — the serial reference
     path; any ``workers`` value yields byte-identical
     :meth:`ParallelSweepResult.to_json_bytes` /
-    :meth:`~ParallelSweepResult.to_csv_bytes` output.
+    :meth:`~ParallelSweepResult.to_csv_bytes` output.  A ``cache``
+    short-circuits cells whose content address is already in the store
+    (and write-backs fresh ones), which is also the resume path: re-run
+    an interrupted sweep with the same cache and only missing cells
+    recompute.  The serialized bytes are identical with or without it.
     """
     cells = enumerate_grid(base, axes, seeds)
+    hits0 = cache.stats.hits if cache is not None else 0
+    misses0 = cache.stats.misses if cache is not None else 0
     start = time.perf_counter()  # simlint: ignore[nondet-source]
     results = run_cells(cells, workers=workers, metric=metric,
                         chunk_size=chunk_size, on_result=on_result,
-                        executor_factory=executor_factory)
+                        executor_factory=executor_factory,
+                        cache=cache, shell=shell)
     elapsed = time.perf_counter() - start  # simlint: ignore[nondet-source]
     axis_names = cells[0].key[1:] if cells else ()
     return ParallelSweepResult(
         axes=tuple(name for name, _ in axis_names),
         results=results, metric=metric,
-        workers=max(1, workers), elapsed_s=elapsed)
+        workers=max(1, workers), elapsed_s=elapsed,
+        cache_hits=(cache.stats.hits - hits0) if cache is not None else 0,
+        cache_misses=(cache.stats.misses - misses0) if cache is not None else 0)

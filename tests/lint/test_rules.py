@@ -151,7 +151,8 @@ class TestProcessBoundaryRule:
         assert "direct multiprocessing use" in messages
         assert "'nested_entry' is nested" in messages
         assert "'bare_function' is submitted" in messages
-        assert len(self.findings()) == 4
+        assert "blob (de)serialization outside the store" in messages
+        assert len(self.findings()) == 6
 
     def test_marked_and_foreign_submits_are_fine(self):
         lines = {f.line for f in self.findings()}
@@ -163,7 +164,16 @@ class TestProcessBoundaryRule:
     def test_engine_chokepoint_may_import_pools(self):
         findings = self.findings(module="repro.parallel.engine")
         messages = " | ".join(f.message for f in findings)
-        assert "import" not in messages
+        assert "process-pool import" not in messages
+        assert "direct multiprocessing use" not in messages
+        # ... but even the engine may not (de)serialize blobs itself.
+        assert "blob (de)serialization" in messages
+
+    def test_store_chokepoint_may_serialize_but_not_spawn(self):
+        findings = self.findings(module="repro.parallel.store")
+        messages = " | ".join(f.message for f in findings)
+        assert "blob (de)serialization" not in messages
+        assert "process-pool import" in messages
 
     def test_silent_outside_sensitive_packages(self):
         assert not self.findings(module="benchmarks.fixture")
