@@ -14,12 +14,24 @@ Usage::
     python -m repro.lint                  # lint [tool.simlint] paths
     python -m repro.lint src tests        # explicit paths
     python -m repro.lint --strict --json  # CI-friendly modes
+    python -m repro.lint --deep           # + project-wide deep pass
 
-See :mod:`repro.lint.rules` for the rule set and
+The deep pass (:mod:`repro.lint.deep`) layers interprocedural analyses
+— acquire/release locksets, verb-protocol state machines, blocking-
+effect inference — over a project index and per-function CFGs; see
+``docs/architecture.md`` ("Deep analysis").
+
+See :mod:`repro.lint.rules` for the per-file rule set and
 ``docs/tutorial.md`` for the suppression / baseline workflow.
 """
 
 from repro.lint.baseline import Baseline
+from repro.lint.deep import (
+    DeepContext,
+    DeepRule,
+    default_deep_rules,
+    run_deep_rules,
+)
 from repro.lint.engine import LintReport, lint_file, run_lint
 from repro.lint.findings import ERROR, WARNING, Finding
 from repro.lint.rules import (
@@ -35,12 +47,16 @@ __all__ = [
     "Baseline",
     "DEFAULT_SENSITIVE_PACKAGES",
     "DEFAULT_SIM_PACKAGES",
+    "DeepContext",
+    "DeepRule",
     "ERROR",
     "Finding",
     "LintReport",
     "Rule",
     "WARNING",
+    "default_deep_rules",
     "default_rules",
     "lint_file",
     "run_lint",
+    "run_deep_rules",
 ]

@@ -82,5 +82,31 @@ class Baseline:
                 new.append(f)
         return new, old
 
+    def stale_after(self, findings: Iterable[Finding]
+                    ) -> list[tuple[Key, int]]:
+        """Entries (key, unused-count) that absorbed fewer findings than
+        their recorded count — debt that has been paid down but is still
+        grandfathered.  ``findings`` must be the *pre-baseline* stream
+        (kept + baselined); sorted by key for deterministic reports."""
+        fired = Counter(f.baseline_key for f in findings)
+        stale: list[tuple[Key, int]] = []
+        for key, count in sorted(self.entries.items()):
+            unused = count - min(count, fired.get(key, 0))
+            if unused > 0:
+                stale.append((key, unused))
+        return stale
+
+    def pruned(self, findings: Iterable[Finding]) -> "Baseline":
+        """A ratcheted copy: each entry's count shrinks to the number of
+        findings that still fire (never grows — pruning can only pay
+        debt down, ``--write-baseline`` is the only way to add)."""
+        fired = Counter(f.baseline_key for f in findings)
+        counts: Counter = Counter()
+        for key, count in self.entries.items():
+            keep = min(count, fired.get(key, 0))
+            if keep > 0:
+                counts[key] = keep
+        return Baseline(counts)
+
     def __len__(self) -> int:
         return sum(self.entries.values())

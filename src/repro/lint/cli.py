@@ -1,7 +1,8 @@
 """``python -m repro.lint`` — the simlint command line.
 
 Exit status: 0 when the tree is clean (after suppressions and baseline),
-1 when findings remain, 2 on usage errors (argparse's convention).
+1 when findings remain, 2 on usage errors (argparse's convention), 3
+when ``--fail-stale`` is set and baseline entries no longer fire.
 
 Configuration is read from ``[tool.simlint]`` in the nearest
 ``pyproject.toml`` at or above ``--root`` (default: the current
@@ -11,6 +12,11 @@ directory); command-line arguments override it.  Recognised keys::
     paths = ["src", "tests", "benchmarks"]
     exclude = ["tests/lint/fixtures"]
     baseline = "simlint-baseline.json"
+
+The deep pass (``--deep``) adds the project-wide rules —
+``deep-lockset``, ``deep-protocol``, ``deep-blocking`` — on top of the
+per-file set.  Selecting a deep rule id with ``--select`` implies
+``--deep``.
 """
 
 from __future__ import annotations
@@ -23,7 +29,9 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.lint.baseline import Baseline
+from repro.lint.deep import default_deep_rules
 from repro.lint.engine import run_lint
+from repro.lint.findings import SEVERITIES
 from repro.lint.rules import default_rules
 
 
@@ -65,35 +73,81 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--write-baseline", action="store_true",
                         help="write current findings to the baseline file "
                              "and exit 0")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="rewrite the baseline dropping entries that "
+                             "no longer fire (counts only shrink) and "
+                             "exit 0")
+    parser.add_argument("--fail-stale", action="store_true",
+                        help="exit 3 when baseline entries no longer fire "
+                             "(default: warn on stderr)")
+    parser.add_argument("--deep", action="store_true",
+                        help="run the project-wide deep pass (lockset, "
+                             "protocol and blocking analyses)")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule ids to run (default: "
+                             "all); deep ids imply --deep")
+    parser.add_argument("--ignore", default=None,
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--severity", action="append", default=None,
+                        metavar="RULE=LEVEL",
+                        help="override a rule's reported severity "
+                             "(error|warning); repeatable")
     parser.add_argument("--rules", default=None,
-                        help="comma-separated rule ids to run (default: all)")
+                        help="alias for --select (kept for compatibility)")
     parser.add_argument("--list-rules", action="store_true",
                         help="list rule ids and exit")
     return parser
 
 
+def _split_ids(raw: Optional[str]) -> list[str]:
+    return [r.strip() for r in (raw or "").split(",") if r.strip()]
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     all_rules = default_rules()
+    all_deep = default_deep_rules()
+    known = ({rule.rule_id for rule in all_rules}
+             | {rule.rule_id for rule in all_deep})
+    deep_ids = {rule.rule_id for rule in all_deep}
 
     if args.list_rules:
         for rule in all_rules:
             print(f"{rule.rule_id}: {rule.description}")
+        for rule in all_deep:
+            print(f"{rule.rule_id} (deep): {rule.description}")
         return 0
 
     root = Path(args.root).resolve()
     config = _load_config(root)
 
+    selected = _split_ids(args.select) + _split_ids(args.rules)
+    ignored = _split_ids(args.ignore)
+    unknown = [w for w in selected + ignored if w not in known]
+    if unknown:
+        print(f"unknown rule id(s): {', '.join(unknown)}", file=sys.stderr)
+        return 2
+
+    deep = args.deep or any(w in deep_ids for w in selected)
     rules = all_rules
-    if args.rules:
-        wanted = [r.strip() for r in args.rules.split(",") if r.strip()]
-        known = {rule.rule_id for rule in all_rules}
-        unknown = [w for w in wanted if w not in known]
-        if unknown:
-            print(f"unknown rule id(s): {', '.join(unknown)}",
-                  file=sys.stderr)
+    deep_rules = all_deep
+    if selected:
+        rules = tuple(r for r in all_rules if r.rule_id in selected)
+        deep_rules = tuple(r for r in all_deep if r.rule_id in selected)
+    if ignored:
+        rules = tuple(r for r in rules if r.rule_id not in ignored)
+        deep_rules = tuple(r for r in deep_rules
+                           if r.rule_id not in ignored)
+
+    severity_overrides: dict[str, str] = {}
+    for spec in args.severity or ():
+        rule_id, sep, level = spec.partition("=")
+        if not sep or rule_id.strip() not in known \
+                or level.strip() not in SEVERITIES:
+            print(f"bad --severity {spec!r} (want RULE=error|warning "
+                  f"with a known rule id)", file=sys.stderr)
             return 2
-        rules = tuple(r for r in all_rules if r.rule_id in wanted)
+        severity_overrides[rule_id.strip()] = level.strip()
 
     paths = list(args.paths) or list(config.get("paths", [])) or ["src"]
     exclude = list(config.get("exclude", []))
@@ -107,12 +161,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if candidate.is_file() or args.write_baseline:
                 baseline_path = candidate
 
+    run_kwargs = dict(root=root, rules=rules, exclude=exclude, deep=deep,
+                      deep_rules=deep_rules,
+                      severity_overrides=severity_overrides or None)
+
     if args.write_baseline:
         if baseline_path is None:
             print("--write-baseline needs --baseline or a [tool.simlint] "
                   "baseline setting", file=sys.stderr)
             return 2
-        report = run_lint(paths, root=root, rules=rules, exclude=exclude)
+        report = run_lint(paths, **run_kwargs)
         Baseline.from_findings(report.findings).save(baseline_path)
         print(f"wrote {len(report.findings)} finding(s) to {baseline_path}")
         return 0
@@ -125,8 +183,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"bad baseline file {baseline_path}: {exc}", file=sys.stderr)
             return 2
 
-    report = run_lint(paths, root=root, rules=rules, baseline=baseline,
-                      strict=args.strict, exclude=exclude)
+    if args.prune_baseline:
+        if baseline_path is None or baseline is None:
+            print("--prune-baseline needs an existing baseline file "
+                  "(--baseline or [tool.simlint] baseline)", file=sys.stderr)
+            return 2
+        report = run_lint(paths, **run_kwargs)
+        pruned = baseline.pruned(report.findings)
+        dropped = len(baseline) - len(pruned)
+        pruned.save(baseline_path)
+        print(f"pruned {dropped} stale baseline finding(s); "
+              f"{len(pruned)} remain in {baseline_path}")
+        return 0
+
+    report = run_lint(paths, baseline=baseline, strict=args.strict,
+                      **run_kwargs)
+
+    for (file, rule, message), unused in report.stale_baseline:
+        print(f"simlint: stale baseline entry ({unused} unused): "
+              f"{file}: {rule}: {message}", file=sys.stderr)
+    if report.stale_baseline:
+        print("simlint: run --prune-baseline to ratchet the baseline down",
+              file=sys.stderr)
 
     if args.as_json:
         print(json.dumps(report.to_json(), indent=2))
@@ -139,8 +217,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             summary += f", {len(report.suppressed)} suppressed"
         if report.baselined:
             summary += f", {len(report.baselined)} baselined"
+        if report.stale_baseline:
+            summary += (f", {len(report.stale_baseline)} stale baseline "
+                        f"entr{'y' if len(report.stale_baseline) == 1 else 'ies'}")
         print(summary)
-    return 0 if report.clean else 1
+    if not report.clean:
+        return 1
+    if report.stale_baseline and args.fail_stale:
+        return 3
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -29,7 +29,7 @@ import io
 import os
 import re
 import tokenize
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
@@ -54,6 +54,11 @@ class LintReport:
     findings: list[Finding] = field(default_factory=list)
     suppressed: list[Finding] = field(default_factory=list)
     baselined: list[Finding] = field(default_factory=list)
+    #: baseline entries that absorbed fewer findings than recorded:
+    #: ((file, rule, message), unused-count) — paid-down debt that
+    #: should be pruned (``--prune-baseline``) so it can't regress.
+    stale_baseline: list[tuple[tuple[str, str, str], int]] = \
+        field(default_factory=list)
     files_scanned: int = 0
 
     @property
@@ -67,6 +72,11 @@ class LintReport:
             "findings": [f.to_json() for f in self.findings],
             "suppressed": len(self.suppressed),
             "baselined": len(self.baselined),
+            "stale_baseline": [
+                {"file": key[0], "rule": key[1], "message": key[2],
+                 "unused": unused}
+                for key, unused in self.stale_baseline
+            ],
         }
 
 
@@ -213,7 +223,11 @@ def run_lint(paths: Iterable[str | Path], *,
              rules: Optional[Sequence[Rule]] = None,
              baseline: Optional[Baseline] = None,
              strict: bool = False,
-             exclude: Sequence[str] = ()) -> LintReport:
+             exclude: Sequence[str] = (),
+             deep: bool = False,
+             deep_rules: Optional[Sequence[object]] = None,
+             severity_overrides: Optional[dict[str, str]] = None,
+             ) -> LintReport:
     """Lint a tree.
 
     Args:
@@ -221,14 +235,30 @@ def run_lint(paths: Iterable[str | Path], *,
         root: directory findings are reported relative to (default cwd).
         rules: rule instances (default: the shipped set).
         baseline: grandfathered findings to subtract (ignored under
-            ``strict``).
+            ``strict``).  Entries that no longer fire are reported in
+            :attr:`LintReport.stale_baseline`.
         strict: ignore the baseline and report unused suppressions.
         exclude: root-relative POSIX path prefixes to skip.
+        deep: also run the project-wide deep pass (lockset, protocol,
+            blocking) over all files that parsed.  Deep findings flow
+            through the same suppression and baseline machinery.
+        deep_rules: deep rule instances (default: the shipped three;
+            only consulted when ``deep`` is true).
+        severity_overrides: ``{rule_id: severity}`` applied to reported
+            findings (baseline identity is severity-blind, so an
+            override never un-matches a grandfathered entry).
+
+    The run is two-pass when ``deep`` is set: every file is parsed and
+    per-file rules run first, then the deep pass sees all parsed trees
+    at once, then suppressions apply per file to the merged stream.
     """
     root = (root or Path.cwd()).resolve()
     rules = default_rules() if rules is None else rules
     report = LintReport()
-    all_kept: list[Finding] = []
+
+    parsed: list[SourceFile] = []
+    raw_by_file: dict[str, list[Finding]] = {}
+    unparsed: list[Finding] = []
 
     for path in iter_source_files(paths, root=root, exclude=exclude):
         report.files_scanned += 1
@@ -238,25 +268,58 @@ def run_lint(paths: Iterable[str | Path], *,
         except (SyntaxError, UnicodeDecodeError) as exc:
             line = getattr(exc, "lineno", 1) or 1
             msg = getattr(exc, "msg", None) or str(exc)
-            all_kept.append(Finding(display, line, 0, PARSE_ERROR_RULE,
+            unparsed.append(Finding(display, line, 0, PARSE_ERROR_RULE,
                                     ERROR, f"file does not parse: {msg}"))
             continue
-        raw = lint_source_file(sf, rules)
+        parsed.append(sf)
+        raw_by_file[sf.display] = lint_source_file(sf, rules)
+
+    if deep and parsed:
+        from repro.lint.deep import run_deep_rules
+        for f in run_deep_rules(parsed, rules=deep_rules):
+            raw_by_file.setdefault(f.file, []).append(f)
+
+    # Rule ids that actually ran this pass: a suppression scoped
+    # entirely to rules that did not run (e.g. a deep-* pragma on a
+    # non-deep run) is not "unused" — it just wasn't exercised.
+    ran_ids = {r.rule_id for r in rules}
+    if deep:
+        if deep_rules is None:
+            from repro.lint.deep import default_deep_rules
+            deep_rules = default_deep_rules()
+        ran_ids |= {r.rule_id for r in deep_rules}
+
+    all_kept: list[Finding] = list(unparsed)
+    for sf in parsed:
+        raw = sorted(raw_by_file.get(sf.display, []))
         table = _suppressions(sf.source)
         kept, suppressed, used_lines = _apply_suppressions(raw, table)
         report.suppressed.extend(suppressed)
         all_kept.extend(kept)
         if strict:
             for line in sorted(table):
-                if line not in used_lines:
-                    all_kept.append(Finding(
-                        display, line, 0, UNUSED_SUPPRESSION_RULE, WARNING,
-                        "suppression comment matches no finding; remove it"))
+                if line in used_lines:
+                    continue
+                ids = table[line]
+                if "*" not in ids and not ids & ran_ids:
+                    continue
+                all_kept.append(Finding(
+                    sf.display, line, 0, UNUSED_SUPPRESSION_RULE,
+                    WARNING,
+                    "suppression comment matches no finding; remove it"))
+
+    if severity_overrides:
+        all_kept = [
+            replace(f, severity=severity_overrides[f.rule])
+            if f.rule in severity_overrides else f
+            for f in all_kept
+        ]
 
     if baseline is not None and not strict:
         kept, baselined = baseline.split(all_kept)
         report.baselined = baselined
         report.findings = sorted(kept)
+        report.stale_baseline = baseline.stale_after(all_kept)
     else:
         report.findings = sorted(all_kept)
     report.suppressed.sort()

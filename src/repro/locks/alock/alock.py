@@ -237,6 +237,7 @@ class ALock(DistributedLock):
                         ctx.trace("mcs.release",
                                   f"{self.name} cohort=REMOTE handoff abandoned")
                     desc.end()
+                    # simlint: ignore[deep-protocol] -- seeded skip_budget_wait
                     return
                 budget = yield from ctx.read(desc.budget_ptr, signed=True)
                 yield from self._neighbor_write(ctx, nxt + OFF_BUDGET,
@@ -314,6 +315,7 @@ class ALock(DistributedLock):
                         ctx.trace("mcs.release",
                                   f"{self.name} cohort=LOCAL handoff abandoned")
                     desc.end()
+                    # simlint: ignore[deep-protocol] -- seeded skip_budget_wait
                     return
                 budget = yield from ctx.read(desc.budget_ptr, signed=True)
                 yield from ctx.write(nxt + OFF_BUDGET, budget - 1)

@@ -130,6 +130,7 @@ class RdmaMcsLock(DistributedLock):
                 # here sits between the check and the park, stretching
                 # the unprotected window by a full backoff period.
                 yield ctx.env.timeout(self.poll_interval_ns)
+            # simlint: ignore[deep-blocking] -- the raw park IS the seeded bug
             yield region.watch(ptr_addr(desc.locked_ptr))  # armed too late
 
     @observed_acquire
@@ -141,28 +142,37 @@ class RdmaMcsLock(DistributedLock):
             raise ProtocolError(
                 f"{ctx.actor}: MCS descriptor reused while still enqueued")
         desc.in_use = True
-        # Descriptor init — via RDMA (loopback), per the baseline's rules.
-        yield from ctx.r_write(desc.locked_ptr, 1)
-        yield from ctx.r_write(desc.next_ptr, 0)
-        # Swap onto the tail (rCAS retry loop).
-        expected = 0
-        while True:
-            old = yield from ctx.r_cas(self.tail_ptr, expected, desc.ptr)
-            if old == expected:
-                break
-            expected = old
-        prev = expected
-        if prev != 0:
-            yield from ctx.r_write(prev + OFF_NEXT, desc.ptr)
-            sp = (ctx.spans.start(ctx.actor, MCS_QUEUE_WAIT, loopback_poll=True)
-                  if ctx.spans.enabled else None)
-            if self.bug == "lost_wakeup":
-                yield from self._buggy_wait(ctx, desc)
-            else:
-                yield from self._poll(ctx, desc.locked_ptr, lambda v: v == 0)
-            if sp is not None:
-                ctx.spans.end(sp)
-            self.passes += 1
+        try:
+            # Descriptor init — via RDMA (loopback), per the baseline's rules.
+            yield from ctx.r_write(desc.locked_ptr, 1)
+            yield from ctx.r_write(desc.next_ptr, 0)
+            # Swap onto the tail (rCAS retry loop).
+            expected = 0
+            while True:
+                old = yield from ctx.r_cas(self.tail_ptr, expected, desc.ptr)
+                if old == expected:
+                    break
+                expected = old
+            prev = expected
+            if prev != 0:
+                yield from ctx.r_write(prev + OFF_NEXT, desc.ptr)
+                sp = (ctx.spans.start(ctx.actor, MCS_QUEUE_WAIT,
+                                      loopback_poll=True)
+                      if ctx.spans.enabled else None)
+                if self.bug == "lost_wakeup":
+                    yield from self._buggy_wait(ctx, desc)
+                else:
+                    yield from self._poll(ctx, desc.locked_ptr,
+                                          lambda v: v == 0)
+                if sp is not None:
+                    ctx.spans.end(sp)
+                self.passes += 1
+        except BaseException:
+            # Failed acquisition (a VerbTimeout from the fault layer, or an
+            # interrupt mid-enqueue): the descriptor must come back, or this
+            # thread can never enqueue again.
+            desc.in_use = False
+            raise
         yield from ctx.fence()
         self._sessions[ctx.gid] = desc
         self._note_acquired(ctx)

@@ -1,0 +1,25 @@
+"""Fixture: between the failed relinquish CAS and the discharging
+write, unlock acquires an unrelated gate — unbounded blocking while the
+successor spins on a word only this thread will write.
+
+Expected: deep-blocking (B3) at the gate acquisition.
+"""
+
+from repro.locks.base import DistributedLock
+
+OFF_LOCKED = 8
+
+
+class BlockingHandoverLock(DistributedLock):
+    def lock(self, ctx):
+        yield from ctx.wait_local(self.flag_ptr, lambda v: v == 0)
+        self._note_acquired(ctx)
+
+    def unlock(self, ctx):
+        desc = self._descriptor(ctx)
+        self._note_released(ctx)
+        old = yield from ctx.r_cas(self.tail_ptr, desc.ptr, 0)
+        if old != desc.ptr:
+            yield from self.fairness_gate.acquire(ctx)  # blocks mid-handover
+            yield from ctx.r_write(old + OFF_LOCKED, 0)
+            yield from self.fairness_gate.release(ctx)

@@ -1,0 +1,22 @@
+"""Fixture: lock() publishes the descriptor, then runs raising verbs
+with no cleanup — a fault-injected VerbTimeout leaks it for good.
+
+Expected: deep-lockset at each raise-capable verb after ``in_use = True``.
+"""
+
+from repro.locks.base import DistributedLock
+
+
+class LeakedDescriptorLock(DistributedLock):
+    def lock(self, ctx):
+        desc = self._descriptor(ctx)
+        desc.in_use = True
+        yield from ctx.r_write(desc.locked_ptr, 1)   # raises: desc published
+        yield from ctx.r_cas(self.tail_ptr, 0, desc.ptr)
+        self._note_acquired(ctx)
+
+    def unlock(self, ctx):
+        desc = self._descriptor(ctx)
+        self._note_released(ctx)
+        yield from ctx.r_cas(self.tail_ptr, desc.ptr, 0)
+        desc.in_use = False

@@ -1,0 +1,22 @@
+"""Fixture: the PR 4 ``lost_wakeup`` mutation shape — poll the flag,
+then park on a watcher armed only after the poll returned.
+
+Expected: deep-blocking (B1) at the raw ``yield region.watch(...)``.
+"""
+
+from repro.locks.base import DistributedLock
+
+
+class LostWakeupLock(DistributedLock):
+    def lock(self, ctx):
+        region = ctx.cluster.regions[ctx.node_id]
+        while True:
+            flag = yield from ctx.r_read(self.flag_ptr)
+            if flag == 0:
+                break
+            yield region.watch(self.flag_ptr)  # armed after the check
+        self._note_acquired(ctx)
+
+    def unlock(self, ctx):
+        self._note_released(ctx)
+        yield from ctx.r_write(self.flag_ptr, 0)

@@ -1,0 +1,30 @@
+"""Fixture: exits that skip the acquisition/release oracle markers.
+
+Expected: deep-lockset at the fast-path ``return`` in lock() (no
+``_note_acquired`` on that path) and at the end of
+``MissingReleaseLock.unlock()`` (no ``_note_released`` at all).
+"""
+
+from repro.locks.base import DistributedLock
+
+
+class MissingNoteLock(DistributedLock):
+    def lock(self, ctx):
+        won = yield from ctx.r_cas(self.word_ptr, 0, ctx.gid)
+        if won == 0:
+            return  # fast path: forgot to record the acquisition
+        yield from ctx.wait_local(self.word_ptr, lambda v: v == 0)
+        self._note_acquired(ctx)
+
+    def unlock(self, ctx):
+        self._note_released(ctx)
+        yield from ctx.r_write(self.word_ptr, 0)
+
+
+class MissingReleaseLock(DistributedLock):
+    def lock(self, ctx):
+        yield from ctx.wait_local(self.word_ptr, lambda v: v == 0)
+        self._note_acquired(ctx)
+
+    def unlock(self, ctx):
+        yield from ctx.r_write(self.word_ptr, 0)

@@ -1,0 +1,26 @@
+"""Fixture: the PR 4 ``skip_budget_wait`` mutation shape — after a
+failed relinquish CAS the releaser samples the link once and bails,
+leaving the enqueued successor spinning on a word nobody will write.
+
+Expected: deep-protocol (P2) at the abandoning ``return``.
+"""
+
+from repro.locks.base import DistributedLock
+
+OFF_LOCKED = 8
+
+
+class SkipBudgetWaitLock(DistributedLock):
+    def lock(self, ctx):
+        yield from ctx.wait_local(self.word_ptr, lambda v: v == 0)
+        self._note_acquired(ctx)
+
+    def unlock(self, ctx):
+        desc = self._descriptor(ctx)
+        self._note_released(ctx)
+        old = yield from ctx.r_cas(self.tail_ptr, desc.ptr, 0)
+        if old != desc.ptr:
+            nxt = yield from ctx.read(desc.next_ptr)
+            if nxt == 0:
+                return  # handoff abandoned: successor is mid-link
+            yield from ctx.r_write(nxt + OFF_LOCKED, 0)

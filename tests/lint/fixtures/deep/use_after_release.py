@@ -1,0 +1,24 @@
+"""Fixture: after the *successful* relinquish CAS, unlock reads the
+tail word again — racing the next enqueuer's swap.
+
+Expected: deep-protocol (P3) at the post-relinquish ``r_read``.
+"""
+
+from repro.locks.base import DistributedLock
+
+OFF_LOCKED = 8
+
+
+class UseAfterReleaseLock(DistributedLock):
+    def lock(self, ctx):
+        yield from ctx.wait_local(self.word_ptr, lambda v: v == 0)
+        self._note_acquired(ctx)
+
+    def unlock(self, ctx):
+        self._note_released(ctx)
+        old = yield from ctx.r_cas(self.tail_ptr, self.desc_ptr, 0)
+        if old == self.desc_ptr:
+            stale = yield from ctx.r_read(self.tail_ptr)  # word is gone
+            return stale
+        nxt = yield from ctx.wait_local(self.next_ptr, lambda p: p != 0)
+        yield from ctx.r_write(nxt + OFF_LOCKED, 0)

@@ -1,0 +1,153 @@
+"""CLI seams added with the deep pass: rule selection, severity
+overrides, the baseline ratchet (stale warnings, ``--fail-stale``,
+``--prune-baseline``) and the exit-code contract.
+
+Exit codes: 0 clean, 1 findings, 2 usage error, 3 stale baseline under
+``--fail-stale``.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: trips frozen-setattr (per-file) — one finding, stable message
+DIRTY = ("from dataclasses import dataclass\n"
+         "def f(r):\n"
+         "    object.__setattr__(r, 'x', 1)\n")
+CLEAN = "def f(r):\n    return r\n"
+
+
+def run_cli(*args, cwd):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True, text=True, cwd=cwd,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"),
+             "PYTHONHASHSEED": "random"})
+
+
+@pytest.fixture
+def project(tmp_path):
+    (tmp_path / "mod.py").write_text(DIRTY)
+    (tmp_path / "pyproject.toml").write_text(
+        '[tool.simlint]\npaths = ["mod.py"]\nbaseline = "baseline.json"\n')
+    return tmp_path
+
+
+class TestSelection:
+    def test_select_runs_only_named_rules(self, project):
+        proc = run_cli("--select", "nondet-source", cwd=project)
+        assert proc.returncode == 0, proc.stdout  # frozen-setattr filtered out
+
+    def test_ignore_skips_named_rules(self, project):
+        proc = run_cli("--ignore", "frozen-setattr", cwd=project)
+        assert proc.returncode == 0, proc.stdout
+
+    def test_unknown_id_in_either_flag_is_usage_error(self, project):
+        assert run_cli("--select", "nope", cwd=project).returncode == 2
+        assert run_cli("--ignore", "nope", cwd=project).returncode == 2
+
+    def test_selecting_a_deep_rule_implies_deep(self, project):
+        (project / "mod.py").write_text(
+            "class BadLock(DistributedLock):\n"
+            "    def lock(self, ctx):\n"
+            "        yield from ctx.wait_local(self.w, lambda v: v == 0)\n")
+        proc = run_cli("--select", "deep-lockset", "--json", cwd=project)
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert {f["rule"] for f in payload["findings"]} == {"deep-lockset"}
+
+
+class TestSeverityOverride:
+    def test_override_changes_reported_severity(self, project):
+        proc = run_cli("--severity", "frozen-setattr=warning", "--json",
+                       cwd=project)
+        assert proc.returncode == 1  # still a finding, just demoted
+        payload = json.loads(proc.stdout)
+        assert {f["severity"] for f in payload["findings"]} == {"warning"}
+
+    def test_bad_severity_spec_is_usage_error(self, project):
+        assert run_cli("--severity", "frozen-setattr=fatal",
+                       cwd=project).returncode == 2
+        assert run_cli("--severity", "no-such-rule=error",
+                       cwd=project).returncode == 2
+        assert run_cli("--severity", "frozen-setattr",
+                       cwd=project).returncode == 2
+
+
+class TestBaselineRatchet:
+    def _baseline(self, project) -> Path:
+        assert run_cli("--write-baseline", cwd=project).returncode == 0
+        return project / "baseline.json"
+
+    def test_exit_codes_clean_findings_stale(self, project):
+        assert run_cli(cwd=project).returncode == 1          # findings
+        self._baseline(project)
+        assert run_cli(cwd=project).returncode == 0          # baselined
+        (project / "mod.py").write_text(CLEAN)               # entry now stale
+        assert run_cli(cwd=project).returncode == 0          # warn only
+        assert run_cli("--fail-stale", cwd=project).returncode == 3
+
+    def test_stale_entries_warn_on_stderr(self, project):
+        self._baseline(project)
+        (project / "mod.py").write_text(CLEAN)
+        proc = run_cli(cwd=project)
+        assert "stale baseline entry" in proc.stderr
+        assert "--prune-baseline" in proc.stderr
+        assert "1 stale baseline entry" in proc.stdout
+
+    def test_prune_drops_only_stale_entries(self, project):
+        (project / "other.py").write_text(DIRTY)
+        (project / "pyproject.toml").write_text(
+            '[tool.simlint]\npaths = ["mod.py", "other.py"]\n'
+            'baseline = "baseline.json"\n')
+        path = self._baseline(project)
+        assert len(Baseline.load(path)) == 2
+        (project / "mod.py").write_text(CLEAN)
+        proc = run_cli("--prune-baseline", cwd=project)
+        assert proc.returncode == 0
+        assert "pruned 1 stale baseline finding(s)" in proc.stdout
+        pruned = Baseline.load(path)
+        assert len(pruned) == 1
+        assert run_cli("--fail-stale", cwd=project).returncode == 0
+
+    def test_prune_without_baseline_is_usage_error(self, tmp_path):
+        (tmp_path / "mod.py").write_text(CLEAN)
+        (tmp_path / "pyproject.toml").write_text(
+            '[tool.simlint]\npaths = ["mod.py"]\n')
+        assert run_cli("--prune-baseline", cwd=tmp_path).returncode == 2
+
+    def test_prune_of_fresh_baseline_is_byte_identical(self, project):
+        path = self._baseline(project)
+        before = path.read_bytes()
+        proc = run_cli("--prune-baseline", cwd=project)
+        assert proc.returncode == 0
+        assert path.read_bytes() == before
+
+    def test_counts_ratchet_down_not_up(self, project):
+        # two occurrences baselined, one fixed: prune keeps min(count, fired)
+        (project / "mod.py").write_text(DIRTY + "    object.__setattr__(r, 'y', 2)\n")
+        path = self._baseline(project)
+        (project / "mod.py").write_text(DIRTY)
+        run_cli("--prune-baseline", cwd=project)
+        report = run_lint(["mod.py"], root=project,
+                          baseline=Baseline.load(path))
+        assert report.clean and not report.stale_baseline
+
+
+class TestStaleApi:
+    def test_stale_after_counts_unmatched_entries(self, tmp_path):
+        (tmp_path / "mod.py").write_text(DIRTY)
+        report = run_lint(["mod.py"], root=tmp_path)
+        baseline = Baseline.from_findings(report.findings)
+        assert baseline.stale_after(report.findings) == []
+        stale = baseline.stale_after([])
+        assert len(stale) == 1
+        (_key, unused) = stale[0]
+        assert unused == 1

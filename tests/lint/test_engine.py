@@ -161,9 +161,10 @@ class TestDeterminism:
     def test_file_discovery_sorted_and_deduplicated(self):
         files = iter_source_files(
             [FIXTURES, FIXTURES / "frozen.py"], root=REPO_ROOT)
-        rels = [f.name for f in files]
+        rels = [f.relative_to(FIXTURES).as_posix() for f in files]
         assert rels == sorted(rels)
         assert rels.count("frozen.py") == 1
+        assert "deep/clean_lock.py" in rels  # subdirectories are walked
 
 
 class TestParseErrors:

@@ -33,6 +33,21 @@ class TestRepoIsClean:
                  "PYTHONHASHSEED": "random"})
         assert proc.returncode == 0, proc.stdout + proc.stderr
 
+    def test_deep_gate_zero_findings_within_budget(self):
+        """The full tree passes the deep pass (lockset, protocol,
+        blocking) well inside the CI timing budget of 60 s."""
+        import time
+        baseline = Baseline.load(REPO_ROOT / "simlint-baseline.json")
+        start = time.monotonic()
+        report = run_lint(
+            ["src", "tests", "benchmarks"], root=REPO_ROOT,
+            baseline=baseline, exclude=["tests/lint/fixtures"], deep=True)
+        elapsed = time.monotonic() - start
+        rendered = "\n".join(f.render() for f in report.findings)
+        assert report.clean, f"deep findings:\n{rendered}"
+        assert not report.stale_baseline
+        assert elapsed < 60, f"deep pass took {elapsed:.1f}s (budget 60s)"
+
     def test_committed_baseline_parses_and_is_empty(self):
         """Nothing is grandfathered right now; new findings must be fixed
         or explicitly suppressed, not silently absorbed."""
