@@ -4,7 +4,9 @@ Runs a fixed set of scenarios — the DES-core microbenchmarks from
 ``bench_engine``, the uncontended lock-primitive costs from
 ``bench_lock_primitives``, the observability overhead probe from
 ``bench_obs``, and one fig5-style sweep cell — each repeated
-``--repeats`` times, and writes the medians to ``BENCH_ci.json``.
+``--repeats`` times, and writes the medians to ``BENCH_ci.json`` —
+plus a ``flight_overhead`` entry (note count, profiled share, paired
+wall delta) that the regression script gates at <3% recorder cost.
 
 This is *not* pytest-benchmark: CI needs a dependency-light harness
 whose output schema is stable enough to diff against a committed
@@ -29,9 +31,12 @@ that runs the gate)::
 from __future__ import annotations
 
 import argparse
+import cProfile
+import gc
 import json
 import os
 import platform
+import pstats
 import statistics
 import sys
 import time
@@ -152,6 +157,71 @@ def single_cell() -> int:
     return run_workload(spec).measured_ops
 
 
+# -- flight-recorder overhead probe ---------------------------------------
+def flight_overhead_probe(profile_runs: int = 3, paired_rounds: int = 4) -> dict:
+    """Measure the always-on flight recorder's cost on the obs workload.
+
+    The gated number is the *profiled share*: the fraction of total
+    cProfile time spent inside ``FlightRecorder.note`` over
+    ``profile_runs`` flight-on runs.  A within-run ratio is the only
+    estimator stable enough for a <3% budget on shared CI runners —
+    paired wall-clock deltas have a null (off-vs-off) distribution whose
+    medians span roughly ±6% on such boxes, so they are recorded here
+    purely as context (``paired_wall_delta_pct``), never gated.
+
+    ``note_calls_per_run`` is fully deterministic for a fixed spec and
+    is the early-warning number: someone instrumenting a poll loop shows
+    up as a call-count jump long before any timer can prove it.
+    """
+    spec = WorkloadSpec(
+        n_nodes=5, threads_per_node=4, n_locks=20, locality_pct=90.0,
+        ops_per_thread=30, cs_ns=500.0, seed=17, lock_kind="alock",
+        audit="off")
+
+    run_workload(spec, flight=True)  # warm imports/caches
+    run_workload(spec, flight=False)
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    for _ in range(profile_runs):
+        run_workload(spec, flight=True)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    note_cum = 0.0
+    note_calls = 0
+    for (filename, _line, name), (_cc, nc, _tt, ct, _callers) in stats.stats.items():
+        if name == "note" and filename.endswith("flight.py"):
+            note_cum += ct
+            note_calls += nc
+    share_pct = 100.0 * note_cum / stats.total_tt if stats.total_tt else 0.0
+
+    def timed(flight: bool) -> float:
+        t0 = time.process_time()
+        run_workload(spec, flight=flight)
+        return time.process_time() - t0
+
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        ratios = []
+        for _ in range(paired_rounds):
+            a_on, a_off = timed(True), timed(False)   # ABBA interleave
+            b_off, b_on = timed(False), timed(True)   # cancels drift/order bias
+            ratios.append((a_on + b_on) / (a_off + b_off))
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    return {
+        "note_calls_per_run": note_calls // profile_runs,
+        "profiled_share_pct": round(share_pct, 3),
+        "paired_wall_delta_pct": round(
+            100.0 * (statistics.median(ratios) - 1.0), 2),
+        "profile_runs": profile_runs,
+        "paired_rounds": paired_rounds,
+    }
+
+
 SCENARIOS = {
     "event_dispatch": event_dispatch,
     "resource_contention": resource_contention,
@@ -188,7 +258,7 @@ def run_suite(repeats: int, only=None) -> dict:
         results[name] = measure(fn, repeats)
         print(f"  {name}: median {results[name]['median_s'] * 1e3:.1f} ms",
               file=sys.stderr)
-    return {
+    payload = {
         "schema": SCHEMA,
         "hardware": {
             "cpu_count": os.cpu_count(),
@@ -197,6 +267,14 @@ def run_suite(repeats: int, only=None) -> dict:
         },
         "benchmarks": results,
     }
+    if only is None or "flight_overhead" in only:
+        payload["flight_overhead"] = flight_overhead_probe()
+        fo = payload["flight_overhead"]
+        print(f"  flight_overhead: {fo['note_calls_per_run']} notes/run, "
+              f"profiled share {fo['profiled_share_pct']:.2f}%, "
+              f"paired wall delta {fo['paired_wall_delta_pct']:+.1f}%",
+              file=sys.stderr)
+    return payload
 
 
 def main(argv=None) -> int:

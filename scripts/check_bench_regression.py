@@ -13,6 +13,11 @@ Exit status: 0 when every scenario's median is within ``--threshold``
 missing from the current run.  New scenarios absent from the baseline
 are reported but don't fail — they start gating once re-baselined.
 
+The always-on flight recorder has its own budget: the current run's
+``flight_overhead`` probe must show a profiled recorder share under
+``--flight-threshold`` (default 3%), and the deterministic
+notes-per-run count must not have grown past 1.5x the baseline's.
+
 Re-baselining: after an *intentional* perf change (or a runner-class
 change), regenerate the baseline on the machine class that runs the
 gate and commit it together with the change that moved the numbers::
@@ -67,6 +72,48 @@ def compare(baseline: dict, current: dict, threshold: float) -> tuple[list[str],
     return lines, failures
 
 
+def check_flight_overhead(baseline: dict, current: dict,
+                          flight_threshold: float) -> tuple[list[str], list[str]]:
+    """Gate the always-on flight recorder's cost (the <3% budget).
+
+    Two checks, both on the *current* run's ``flight_overhead`` probe
+    (see ``ci_bench.flight_overhead_probe`` for why the gated number is
+    the profiled within-run share, not a paired wall delta):
+
+    * ``profiled_share_pct`` must stay under ``flight_threshold``;
+    * ``note_calls_per_run`` — deterministic for the pinned workload —
+      must not exceed 1.5x the baseline's count, which catches a newly
+      instrumented hot path (e.g. a per-poll note) with zero timer noise.
+    """
+    lines: list[str] = []
+    failures: list[str] = []
+    cur = current.get("flight_overhead")
+    base = baseline.get("flight_overhead")
+    if cur is None:
+        if base is not None:
+            failures.append("flight_overhead: probe missing from current run")
+        return lines, failures
+    share = cur.get("profiled_share_pct", 0.0)
+    calls = cur.get("note_calls_per_run", 0)
+    verdict = "ok"
+    if share > flight_threshold:
+        verdict = "REGRESSION"
+        failures.append(
+            f"flight_overhead: recorder profiled share {share:.2f}% exceeds "
+            f"the {flight_threshold:.1f}% always-on budget")
+    lines.append(f"  flight recorder: {calls} notes/run, profiled share "
+                 f"{share:.2f}% (budget {flight_threshold:.1f}%), paired wall "
+                 f"delta {cur.get('paired_wall_delta_pct', 0.0):+.1f}% "
+                 f"(ungated, noisy)  {verdict}")
+    if base is not None:
+        base_calls = base.get("note_calls_per_run", 0)
+        if base_calls and calls > 1.5 * base_calls:
+            failures.append(
+                f"flight_overhead: {calls} notes/run vs {base_calls} in the "
+                f"baseline (> 1.5x) — a hot path gained a flight note")
+    return lines, failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline",
@@ -75,6 +122,9 @@ def main(argv=None) -> int:
     parser.add_argument("--threshold", type=float, default=0.20,
                         help="allowed median slowdown fraction "
                              "(0.20 = fail beyond +20%%)")
+    parser.add_argument("--flight-threshold", type=float, default=3.0,
+                        help="flight-recorder budget as a percent of "
+                             "profiled run time (default %(default)s%%)")
     args = parser.parse_args(argv)
     baseline = load(args.baseline)
     current = load(args.current)
@@ -85,6 +135,10 @@ def main(argv=None) -> int:
               f"current {cur_hw.get('platform')!r}; thresholds assume "
               f"comparable hardware", file=sys.stderr)
     lines, failures = compare(baseline, current, args.threshold)
+    flight_lines, flight_failures = check_flight_overhead(
+        baseline, current, args.flight_threshold)
+    lines += flight_lines
+    failures += flight_failures
     print(f"bench regression check (threshold +{args.threshold * 100:.0f}%):")
     print("\n".join(lines))
     if failures:

@@ -19,6 +19,7 @@ from repro.memory.pointer import MAX_NODES
 from repro.memory.races import RaceAuditor
 from repro.memory.region import MemoryRegion
 from repro.obs import ObsConfig, Observability
+from repro.obs.flight import DEFAULT_CAPACITY, FlightRecorder
 from repro.rdma.config import RdmaConfig
 from repro.rdma.network import RdmaNetwork
 from repro.sim.core import Environment
@@ -58,13 +59,18 @@ class Cluster:
             collectors (NIC/verb/fault counters) are wired regardless, so
             ``cluster.obs.metrics.collect()`` works even with recording
             off.
+        flight: keep the always-on flight recorder (default).  ``False``
+            is for overhead benchmarks only — without the ring, failures
+            lose their post-mortem event window.
+        flight_capacity: flight ring size (events retained).
     """
 
     def __init__(self, n_nodes: int, *, config: Optional[RdmaConfig] = None,
                  region_bytes: int = DEFAULT_REGION_BYTES, seed: int = 0,
                  audit: str = "record", trace: bool = False,
                  faults: Optional[FaultPlan] = None,
-                 obs: Optional[ObsConfig] = None):
+                 obs: Optional[ObsConfig] = None,
+                 flight: bool = True, flight_capacity: int = DEFAULT_CAPACITY):
         if not 1 <= n_nodes <= MAX_NODES:
             raise ConfigError(f"n_nodes must be in [1, {MAX_NODES}], got {n_nodes}")
         if faults is not None and not isinstance(faults, FaultPlan):
@@ -77,10 +83,17 @@ class Cluster:
         self.auditor = RaceAuditor(mode=audit) if audit != "off" else RaceAuditor(mode="off")
         self.tracer = TraceBuffer(enabled=trace)
         self.obs = Observability(self.env, obs or ObsConfig())
+        # Always-on flight recorder (the backward-looking half of obs):
+        # the env hook feeds schedule tie-breaks, the network/injector
+        # handles feed verb + fault lifecycle, locks note transitions.
+        self.flight = FlightRecorder(self.env, flight_capacity) if flight else None
+        self.env.flight = self.flight
         self.fault_plan = faults
         self.fault_injector = (
             FaultInjector(faults, self.rng.fork("faults"))
             if faults is not None and faults.active else None)
+        if self.fault_injector is not None:
+            self.fault_injector.flight = self.flight
         self.regions = [
             MemoryRegion(self.env, i, region_bytes, auditor=self.auditor)
             for i in range(n_nodes)
@@ -88,7 +101,8 @@ class Cluster:
         self.network = RdmaNetwork(
             self.env, self.config, self.regions, auditor=self.auditor,
             jitter_rng=self.rng.get("fabric-jitter"),
-            injector=self.fault_injector, obs=self.obs)
+            injector=self.fault_injector, obs=self.obs,
+            flight=self.flight)
         self.nodes = [Node(i, self.regions[i]) for i in range(n_nodes)]
         self._contexts: dict[tuple[int, int], "ThreadContext"] = {}
         self._register_collectors()

@@ -32,8 +32,8 @@ class ThreadContext:
     # The trailing slots are lazily-attached per-lock descriptor caches
     # (see repro.locks.alock.descriptors / repro.locks.baselines.mcs).
     __slots__ = ("cluster", "env", "node_id", "thread_id", "gid", "actor",
-                 "_region", "_net", "_cpu", "tracer", "spans", "local_op_count",
-                 "remote_op_count", "verb_timeouts",
+                 "_region", "_net", "_cpu", "tracer", "spans", "_flight",
+                 "local_op_count", "remote_op_count", "verb_timeouts",
                  "_alock_descriptors", "_alock_descriptor_pools",
                  "_mcs_descriptor")
 
@@ -49,6 +49,7 @@ class ThreadContext:
         self._cpu = cluster.config.cpu
         self.tracer = cluster.tracer
         self.spans = cluster.obs.spans  # typed span recorder (obs layer)
+        self._flight = cluster.flight  # always-on flight ring (or None)
         # statistics
         self.local_op_count = 0
         self.remote_op_count = 0
@@ -177,22 +178,36 @@ class ThreadContext:
         except VerbTimeout as exc:
             self.verb_timeouts += 1
             exc.actor = self.actor
+            fl = self._flight
+            if fl is not None:
+                fl.note(self.actor, "verb.timeout", exc.verb, exc.target_node)
             raise
 
     def r_read(self, ptr: int, *, signed: bool = False):
         """One-sided RDMA read (loopback if ``ptr`` is local — only the
-        baseline locks do that deliberately)."""
+        baseline locks do that deliberately).
+
+        No ``verb.issue`` flight note here or in :meth:`r_write`: reads
+        and writes are the poll-loop verbs — recording each one both
+        blows the <3% recorder budget and floods the ring with spin
+        noise that evicts the protocol events a post-mortem needs.  The
+        atomics below are the protocol chokepoints and are recorded;
+        timeouts are recorded for every verb kind in :meth:`_remote`.
+        """
         value = yield from self._remote(self._net.r_read(
             self.node_id, self.thread_id, ptr, signed=signed))
         return value
 
     def r_write(self, ptr: int, value: int):
-        """One-sided RDMA write."""
+        """One-sided RDMA write (unrecorded, see :meth:`r_read`)."""
         yield from self._remote(self._net.r_write(
             self.node_id, self.thread_id, ptr, value))
 
     def r_cas(self, ptr: int, expected: int, desired: int, *, signed: bool = False):
         """One-sided RDMA compare-and-swap; returns the previous value."""
+        fl = self._flight
+        if fl is not None:
+            fl.note(self.actor, "verb.issue", "rCAS", ptr >> ADDR_BITS)
         old = yield from self._remote(self._net.r_cas(
             self.node_id, self.thread_id, ptr, expected, desired,
             signed=signed, actor=self.actor))
@@ -200,6 +215,9 @@ class ThreadContext:
 
     def r_faa(self, ptr: int, delta: int, *, signed: bool = False):
         """One-sided RDMA fetch-and-add; returns the previous value."""
+        fl = self._flight
+        if fl is not None:
+            fl.note(self.actor, "verb.issue", "rFAA", ptr >> ADDR_BITS)
         old = yield from self._remote(self._net.r_faa(
             self.node_id, self.thread_id, ptr, delta, signed=signed,
             actor=self.actor))

@@ -45,6 +45,10 @@ class FaultInjector:
         self.plan = plan
         self._rngs = rngs
         self._verb_rng = rngs.get("verb")
+        #: flight-recorder handle, attached by the Cluster; injected
+        #: faults become ring events so post-mortems show what the fault
+        #: layer did in the window before a failure.
+        self.flight = None
         # -- counters ----------------------------------------------------
         self.injected_losses = 0
         self.injected_spikes = 0
@@ -59,15 +63,22 @@ class FaultInjector:
                     now: float) -> VerbFault:
         """Fault verdict for one transmission attempt of ``verb``."""
         plan = self.plan
+        fl = self.flight
         if plan.crash_windows and plan.crashed(dst_node, now):
             self.crash_drops += 1
+            if fl is not None:
+                fl.note(f"n{src_node}", "fault.drop", verb, dst_node, "crash")
             return VerbFault(dropped=True, cause="crash")
         delay = 0.0
         if plan.spike_rate > 0 and self._verb_rng.random() < plan.spike_rate:
             self.injected_spikes += 1
             delay = plan.spike_ns
+            if fl is not None:
+                fl.note(f"n{src_node}", "fault.delay", verb, dst_node, delay)
         if plan.verb_loss_rate > 0 and self._verb_rng.random() < plan.verb_loss_rate:
             self.injected_losses += 1
+            if fl is not None:
+                fl.note(f"n{src_node}", "fault.drop", verb, dst_node, "loss")
             return VerbFault(dropped=True, delay_ns=delay, cause="loss")
         if delay == 0.0:
             return _CLEAN
@@ -90,6 +101,9 @@ class FaultInjector:
         rng = self._rngs.get("stall", node, thread)
         if rng.random() < plan.holder_stall_rate:
             self.holder_stalls += 1
+            fl = self.flight
+            if fl is not None:
+                fl.note(f"t{thread}@n{node}", "fault.stall", plan.holder_stall_ns)
             return plan.holder_stall_ns
         return 0.0
 

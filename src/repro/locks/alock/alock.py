@@ -47,7 +47,7 @@ from repro.locks.base import (
     register_lock_type,
 )
 from repro.locks.layout import ALOCK_LAYOUT
-from repro.memory.pointer import RdmaPointer
+from repro.memory.pointer import RdmaPointer, ptr_addr
 from repro.obs import COHORT_HANDOVER, MCS_QUEUE_WAIT
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -114,6 +114,12 @@ class ALock(DistributedLock):
         self.tail_r_ptr = ALOCK_LAYOUT.addr_of(self.base_ptr, "tail_r")
         self.tail_l_ptr = ALOCK_LAYOUT.addr_of(self.base_ptr, "tail_l")
         self.victim_ptr = ALOCK_LAYOUT.addr_of(self.base_ptr, "victim")
+        # name the record's words so watch events, deadlock messages and
+        # post-mortem wait-for graphs say "alock[k7].tail_l", not 0x1040
+        region = cluster.regions[home_node]
+        region.label_word(ptr_addr(self.tail_r_ptr), f"{self.name}.tail_r")
+        region.label_word(ptr_addr(self.tail_l_ptr), f"{self.name}.tail_l")
+        region.label_word(ptr_addr(self.victim_ptr), f"{self.name}.victim")
         self._sessions: dict[int, tuple[str, Descriptor]] = {}
         # statistics (per-lock protocol behaviour, used by ablations)
         self.passes = {"local": 0, "remote": 0}
@@ -206,6 +212,9 @@ class ALock(DistributedLock):
             return
         # Link behind the predecessor, then spin locally on our budget.
         yield from self._neighbor_write(ctx, prev + OFF_NEXT, desc.ptr)
+        fl = ctx._flight
+        if fl is not None:
+            fl.note(ctx.actor, "lock.wait", self.name, "budget")
         sp = (ctx.spans.start(ctx.actor, MCS_QUEUE_WAIT, cohort="remote")
               if ctx.spans.enabled else None)
         budget = yield from ctx.wait_local(
@@ -247,6 +256,9 @@ class ALock(DistributedLock):
                               f"{self.name} cohort=REMOTE -> budget {budget - 1}")
                 desc.end()
                 return
+            fl = ctx._flight
+            if fl is not None:
+                fl.note(ctx.actor, "lock.wait", self.name, "next")
             sp = (ctx.spans.start(ctx.actor, COHORT_HANDOVER, cohort="remote")
                   if ctx.spans.enabled else None)
             nxt = yield from ctx.wait_local(desc.next_ptr, lambda p: p != 0)
@@ -290,6 +302,9 @@ class ALock(DistributedLock):
             return
         # Predecessor is necessarily a thread on this same node.
         yield from ctx.write(prev + OFF_NEXT, desc.ptr)
+        fl = ctx._flight
+        if fl is not None:
+            fl.note(ctx.actor, "lock.wait", self.name, "budget")
         sp = (ctx.spans.start(ctx.actor, MCS_QUEUE_WAIT, cohort="local")
               if ctx.spans.enabled else None)
         budget = yield from ctx.wait_local(
@@ -324,6 +339,9 @@ class ALock(DistributedLock):
                               f"{self.name} cohort=LOCAL -> budget {budget - 1}")
                 desc.end()
                 return
+            fl = ctx._flight
+            if fl is not None:
+                fl.note(ctx.actor, "lock.wait", self.name, "next")
             sp = (ctx.spans.start(ctx.actor, COHORT_HANDOVER, cohort="local")
                   if ctx.spans.enabled else None)
             nxt = yield from ctx.wait_local(desc.next_ptr, lambda p: p != 0)

@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING
 
 from repro.common.errors import ProtocolError
 from repro.locks.layout import DESCRIPTOR_LAYOUT
-from repro.memory.pointer import RdmaPointer
+from repro.memory.pointer import RdmaPointer, ptr_addr
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster import ThreadContext
@@ -35,12 +35,17 @@ OFF_NEXT = DESCRIPTOR_LAYOUT.offset_of("next")
 class Descriptor:
     """One thread's descriptor for one cohort flavor."""
 
-    __slots__ = ("ctx", "flavor", "ptr", "in_use")
+    __slots__ = ("ctx", "flavor", "ptr", "label", "in_use")
 
     def __init__(self, ctx: "ThreadContext", flavor: str):
         self.ctx = ctx
         self.flavor = flavor  # "local" | "remote"
-        self.ptr = ctx.cluster.regions[ctx.node_id].alloc_ptr(DESCRIPTOR_LAYOUT.size)
+        region = ctx.cluster.regions[ctx.node_id]
+        self.ptr = region.alloc_ptr(DESCRIPTOR_LAYOUT.size)
+        self.label = f"desc[{ctx.actor}:{flavor}]"
+        addr = ptr_addr(self.ptr)
+        region.label_word(addr + OFF_BUDGET, self.label + ".budget")
+        region.label_word(addr + OFF_NEXT, self.label + ".next")
         self.in_use = False
 
     @property
@@ -60,10 +65,18 @@ class Descriptor:
                 f"{self.ctx.actor}: {self.flavor} descriptor reused while still "
                 f"enqueued (a thread can wait on only one lock at a time)")
         self.in_use = True
+        fl = self.ctx._flight
+        if fl is not None:
+            fl.note(self.ctx.actor, "desc.begin", self.label)
         yield from self.ctx.write(self.budget_ptr, WAITING)
         yield from self.ctx.write(self.next_ptr, 0)
 
     def end(self) -> None:
+        # No flight note: a descriptor's retirement is implied by the
+        # same label's next desc.begin (or the lock.released that
+        # precedes it), and the per-acquisition note here was one of the
+        # recorder's hottest call sites (see the <3% budget in
+        # repro.obs.flight).
         self.in_use = False
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -38,6 +38,9 @@ def acquire_local(ctx: "ThreadContext", lock: "ALock"):
     """
     if ctx.tracer.enabled:
         ctx.trace("peterson.enter", f"{lock.name} cohort=LOCAL")
+    fl = ctx._flight
+    if fl is not None:
+        fl.note(ctx.actor, "lock.wait", lock.name, "peterson-local")
     sp = (ctx.spans.start(ctx.actor, PETERSON_COMPETE, cohort="local")
           if ctx.spans.enabled else None)
     yield from ctx.write(lock.victim_ptr, COHORT_LOCAL)
@@ -77,6 +80,9 @@ def acquire_remote(ctx: "ThreadContext", lock: "ALock"):
     """
     if ctx.tracer.enabled:
         ctx.trace("peterson.enter", f"{lock.name} cohort=REMOTE")
+    fl = ctx._flight
+    if fl is not None:
+        fl.note(ctx.actor, "lock.wait", lock.name, "peterson-remote")
     sp = (ctx.spans.start(ctx.actor, PETERSON_COMPETE, cohort="remote")
           if ctx.spans.enabled else None)
     yield from ctx.r_write(lock.victim_ptr, COHORT_REMOTE)

@@ -64,6 +64,7 @@ class DistributedLock(ABC):
         self.name = name or f"{self.kind}@n{home_node}"
         self._holder_gid: int = 0
         self._holder_since: float = 0.0
+        self._flight = cluster.flight  # always-on flight ring (or None)
         # observability handles (see observed_acquire/observed_release)
         obs = cluster.obs
         self._spans = obs.spans
@@ -108,6 +109,9 @@ class DistributedLock(ABC):
         self._holder_gid = ctx.gid
         self._holder_since = self.cluster.env.now
         self.acquisitions += 1
+        fl = self._flight
+        if fl is not None:
+            fl.note(ctx.actor, "lock.acquired", self.name)
 
     def _note_released(self, ctx: "ThreadContext") -> None:
         if self._holder_gid != ctx.gid:
@@ -115,6 +119,9 @@ class DistributedLock(ABC):
                 f"{self.name}: unlock by {ctx.actor} (gid {ctx.gid}) but holder "
                 f"is gid {self._holder_gid}")
         self._holder_gid = 0
+        fl = self._flight
+        if fl is not None:
+            fl.note(ctx.actor, "lock.released", self.name)
 
     @property
     def holder_gid(self) -> int:

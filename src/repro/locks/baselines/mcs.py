@@ -42,7 +42,14 @@ class _McsDescriptor:
 
     def __init__(self, ctx: "ThreadContext"):
         self.ctx = ctx
-        self.ptr = ctx.cluster.regions[ctx.node_id].alloc_ptr(MCS_DESCRIPTOR_LAYOUT.size)
+        region = ctx.cluster.regions[ctx.node_id]
+        self.ptr = region.alloc_ptr(MCS_DESCRIPTOR_LAYOUT.size)
+        self.label = f"mcsdesc[{ctx.actor}]"
+        from repro.memory.pointer import ptr_addr
+
+        addr = ptr_addr(self.ptr)
+        region.label_word(addr + OFF_LOCKED, self.label + ".locked")
+        region.label_word(addr + OFF_NEXT, self.label + ".next")
         self.in_use = False
 
     @property
@@ -95,6 +102,10 @@ class RdmaMcsLock(DistributedLock):
         self.bug = bug
         self.base_ptr = cluster.alloc_on(home_node, MCS_LAYOUT.size)
         self.tail_ptr = MCS_LAYOUT.addr_of(self.base_ptr, "tail")
+        from repro.memory.pointer import ptr_addr
+
+        cluster.regions[home_node].label_word(
+            ptr_addr(self.tail_ptr), f"{self.name}.tail")
         self._sessions: dict[int, _McsDescriptor] = {}
         # statistics
         self.passes = 0
@@ -156,6 +167,9 @@ class RdmaMcsLock(DistributedLock):
             prev = expected
             if prev != 0:
                 yield from ctx.r_write(prev + OFF_NEXT, desc.ptr)
+                fl = ctx._flight
+                if fl is not None:
+                    fl.note(ctx.actor, "lock.wait", self.name, "locked")
                 sp = (ctx.spans.start(ctx.actor, MCS_QUEUE_WAIT,
                                       loopback_poll=True)
                       if ctx.spans.enabled else None)
@@ -190,6 +204,9 @@ class RdmaMcsLock(DistributedLock):
             ctx.trace("cs.exit", self.name)
         old = yield from ctx.r_cas(self.tail_ptr, desc.ptr, 0)
         if old != desc.ptr:
+            fl = ctx._flight
+            if fl is not None:
+                fl.note(ctx.actor, "lock.wait", self.name, "next")
             nxt = yield from self._poll(ctx, desc.next_ptr, lambda v: v != 0)
             yield from ctx.r_write(nxt + OFF_LOCKED, 0)
         desc.in_use = False

@@ -45,6 +45,10 @@ class RdmaSpinlock(DistributedLock):
         self.max_backoff_ns = max_backoff_ns
         self.base_ptr = cluster.alloc_on(home_node, SPINLOCK_LAYOUT.size)
         self.word_ptr = SPINLOCK_LAYOUT.addr_of(self.base_ptr, "word")
+        from repro.memory.pointer import ptr_addr
+
+        cluster.regions[home_node].label_word(
+            ptr_addr(self.word_ptr), f"{self.name}.word")
         # statistics
         self.cas_attempts = 0
 

@@ -62,6 +62,9 @@ class DistributedLockTable:
         # recovery / degraded-mode metrics
         self.lease_expirations = 0
         self.degraded_entries: set[int] = set()
+        #: post-mortem JSON captured at the most recent lease expiry
+        #: (None until one fires); see repro.obs.postmortem.
+        self.last_postmortem: Optional[str] = None
         options = dict(lock_options or {})
         self.entries: list[LockEntry] = []
         self._by_node: list[list[int]] = [[] for _ in range(cluster.n_nodes)]
@@ -70,6 +73,8 @@ class DistributedLockTable:
             lock = make_lock(lock_kind, cluster, node,
                              name=f"{lock_kind}[{i}]@n{node}", **options)
             counter_ptr = cluster.alloc_on(node, 64)
+            cluster.regions[node].label_word(ptr_addr(counter_ptr),
+                                             f"counter[{i}]")
             self.entries.append(LockEntry(i, node, lock, counter_ptr))
             self._by_node[node].append(i)
 
@@ -120,6 +125,19 @@ class DistributedLockTable:
                 # One holder sat on the lock for a full lease: stalled.
                 self.lease_expirations += 1
                 self.degraded_entries.add(index)
+                fl = self.cluster.flight
+                if fl is not None:
+                    fl.note(ctx.actor, "lease.expired", lock.name, holder)
+                # Freeze the evidence: a lease expiry is a failure even
+                # though the run continues degraded.
+                from repro.obs.postmortem import dump_json, snapshot
+
+                self.last_postmortem = dump_json(snapshot(
+                    self.cluster, reason="lease-expiry",
+                    detail=f"{lock.name}: holder gid {holder} exceeded "
+                           f"{self.lease_ns:.0f} ns lease "
+                           f"(waiter {ctx.actor})",
+                    table=self))
         if not waiter.ok:
             raise waiter.value
 

@@ -56,8 +56,9 @@ class MemoryRegion:
     """
 
     __slots__ = ("env", "node_id", "size", "auditor", "_words",
-                 "_alloc_cursor", "_watchers", "_node_label", "local_reads",
-                 "local_writes", "local_rmws", "remote_ops_landed")
+                 "_alloc_cursor", "_watchers", "_node_label", "_labels",
+                 "local_reads", "local_writes", "local_rmws",
+                 "remote_ops_landed")
 
     def __init__(self, env: Environment, node_id: int, size_bytes: int,
                  auditor: Optional[RaceAuditor] = None):
@@ -79,6 +80,11 @@ class MemoryRegion:
         # and the packed pointer value 0 can serve as NULL.
         self._alloc_cursor = CACHE_LINE
         self._watchers: dict[int, list[Event]] = {}
+        # Protocol names for words (e.g. "alock[k7].tail_l"): locks label
+        # their record fields at construction so watch events — and through
+        # them the deadlock diagnostics and post-mortem wait-for graph —
+        # name the word a process is parked on instead of a raw address.
+        self._labels: dict[int, object] = {}
         self._node_label = f"n{node_id}"
         # statistics
         self.local_reads = 0
@@ -200,21 +206,35 @@ class MemoryRegion:
         hazard Table 1 warns about."""
         self._store(addr, from_signed(value))
 
+    # -- word labels ---------------------------------------------------
+    def label_word(self, addr: int, label: str) -> None:
+        """Register a protocol name for the word at ``addr`` (idempotent;
+        the last registration wins).  Labels flow into watch-event info,
+        deadlock messages and post-mortem wait-for graphs."""
+        self._word_index(addr)  # validate alignment/bounds eagerly
+        self._labels[addr] = label
+
+    def describe_word(self, addr: int) -> object:
+        """The registered label for ``addr``, or the raw address."""
+        return self._labels.get(addr, addr)
+
     # -- watchers ------------------------------------------------------
     def watch(self, addr: int) -> Event:
         """One-shot event fired by the next write to ``addr`` (local or
         remote).  Value: ``(addr, raw_value)``."""
         idx = self._word_index(addr)
         ev = Event(self.env)
-        # addr stays an int; the deadlock diagnostics stringify lazily.
-        ev.info = ("watch", self._node_label, addr)
+        # one dict probe: labeled words describe themselves in diagnostics
+        ev.info = ("watch", self._node_label, self._labels.get(addr, addr))
         self._watchers.setdefault(idx, []).append(ev)
         return ev
 
     def watch_any(self, addrs: Iterable[int]) -> Event:
         """One-shot event fired by the next write to *any* of ``addrs``."""
         ev = Event(self.env)
-        ev.info = ("watch", self._node_label)
+        addrs = tuple(addrs)
+        labels = self._labels
+        ev.info = ("watch", self._node_label) + tuple(labels.get(a, a) for a in addrs)
         for addr in addrs:
             idx = self._word_index(addr)
             self._watchers.setdefault(idx, []).append(ev)

@@ -101,13 +101,17 @@ class CellResult:
 
     ``ok`` distinguishes a measured row from a recorded failure: a
     worker exception becomes a failed cell (``error`` carries the
-    ``repr`` + traceback text), never a lost sweep.
+    ``repr`` + traceback text), never a lost sweep.  When the failure
+    produced a post-mortem (see :mod:`repro.obs.postmortem`), ``dump``
+    carries it as canonical JSON — a string, so the boundary contract
+    holds and the blob survives pickling unchanged.
     """
 
     key: tuple
     ok: bool
     row: Optional[dict] = field(default=None)
     error: Optional[str] = field(default=None)
+    dump: Optional[str] = field(default=None)
 
     def __post_init__(self) -> None:
         check_boundary_value(self.key, "result.key")

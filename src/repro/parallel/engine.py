@@ -82,9 +82,13 @@ def run_cell_chunk(chunk: "tuple[SweepCell, ...]", metric: str = "throughput") -
             out.append(CellResult(key=cell.key, ok=True,
                                   row=_cell_row(result, metric)))
         except Exception as exc:
+            # A failure site (runner, sim core, locktable) may have hung
+            # a post-mortem dump on the exception; a failed cell carries
+            # it home as a plain string (boundary-safe).
             out.append(CellResult(
                 key=cell.key, ok=False,
-                error=f"{exc!r}\n{traceback.format_exc()}"))
+                error=f"{exc!r}\n{traceback.format_exc()}",
+                dump=getattr(exc, "_postmortem", None)))
     return out
 
 

@@ -63,7 +63,8 @@ class RdmaNetwork:
                  auditor: Optional[RaceAuditor] = None,
                  jitter_rng: Optional[np.random.Generator] = None,
                  injector: Optional[FaultInjector] = None,
-                 obs: Optional[Observability] = None):
+                 obs: Optional[Observability] = None,
+                 flight=None):
         self.env = env
         self.config = config
         self.regions = regions
@@ -71,6 +72,10 @@ class RdmaNetwork:
         self.nics = [Rnic(env, i, config.nic) for i in range(len(regions))]
         self._jitter_rng = jitter_rng
         self.injector = injector
+        # flight recorder: consulted only on the cold retry/timeout path
+        # (per-verb issue notes live in ThreadContext, where the actor
+        # string is precomputed)
+        self._flight = flight
         # observability: span recorder handle + pre-built RTT histograms
         # (None when disabled — the hot path checks one attribute).
         self._spans = obs.spans if obs is not None else None
@@ -171,6 +176,9 @@ class RdmaNetwork:
                 self._spans.end(retry_sp, timeout_ns=timeout_ns)
             timeout_ns *= plan.retry_backoff
         inj.note_verb_timeout(verb)
+        fl = self._flight
+        if fl is not None:
+            fl.note(f"n{src_node}", "verb.timeout", verb, dst)
         raise VerbTimeout(
             f"{verb} to node {dst} lost {plan.retry_limit} transmissions "
             f"(retry budget exhausted)",

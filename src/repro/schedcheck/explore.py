@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.common.rng import derive_seed
+from repro.obs.postmortem import dump_json, maybe_write_dump, snapshot
 from repro.schedcheck.decisions import Decisions
 from repro.schedcheck.checkers import run_all_checkers
 from repro.schedcheck.policies import (
@@ -60,6 +61,10 @@ class ScheduleResult:
     trace_tail: tuple = ()
     schedule_index: int = -1               # position within an exploration
     policy_seed: Optional[int] = None
+    #: post-mortem dump (canonical JSON, see repro.obs.postmortem) taken
+    #: at the moment of failure; None for passing schedules.  Carried as
+    #: a string so results cross process boundaries unchanged.
+    dump: Optional[str] = None
 
     @property
     def n_choice_points(self) -> int:
@@ -109,6 +114,7 @@ def run_schedule(scenario, policy: Optional[SchedulePolicy],
 
     failed = [p for p in run.processes if p.triggered and not p.ok]
     alive = [p for p in run.processes if p.is_alive]
+    error_repr = None
     if failed:
         p = failed[0]
         result.ok = False
@@ -116,6 +122,7 @@ def run_schedule(scenario, policy: Optional[SchedulePolicy],
         result.detail = (f"{p.name} died: {type(p.value).__name__}: {p.value}"
                          + (f" (+{len(failed) - 1} more)" if len(failed) > 1
                             else ""))
+        error_repr = repr(p.value)
     elif alive:
         drained = env.peek() == float("inf")
         result.ok = False
@@ -134,6 +141,14 @@ def run_schedule(scenario, policy: Optional[SchedulePolicy],
             result.failure_kind = "checker"
             result.detail = "; ".join(problems[:3]) + (
                 f" (+{len(problems) - 3} more)" if len(problems) > 3 else "")
+    if not result.ok:
+        # Freeze the post-mortem while the failed execution's state is
+        # still live: flight window, lock words, wait-for graph.
+        result.dump = dump_json(snapshot(
+            run.cluster, reason=result.failure_kind, detail=result.detail,
+            table=run.table, decisions=result.decisions.to_string(),
+            error=error_repr))
+        maybe_write_dump(result.dump, result.failure_kind)
     return result
 
 

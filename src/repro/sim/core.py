@@ -14,9 +14,20 @@ from __future__ import annotations
 
 import heapq
 from heapq import heappop, heappush
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, Optional, Protocol
 
 from repro.common.errors import SimulationError
+
+
+class FlightLike(Protocol):
+    """Sink for flight-recorder notes (see :mod:`repro.obs.flight`).
+
+    The engine stays ignorant of the recorder's implementation; it only
+    needs somewhere to note schedule tie-breaks, which exist solely on
+    the policy path, so the default dispatch loop never pays for it.
+    """
+
+    def note(self, actor: str, kind: str, *detail: object) -> None: ...
 
 
 class _Pending:
@@ -362,6 +373,9 @@ class Environment:
         self._policy = None
         self._sched_log: list[int] = []
         self._sched_fanout: list[int] = []
+        # flight-recorder hook: only the policy step consults it, so the
+        # no-policy hot loop is untouched (see FlightLike)
+        self.flight: Optional[FlightLike] = None
         # process registry for deadlock diagnostics / schedule policies
         self._procs: list[Process] = []
         self._next_pid = 0
@@ -506,6 +520,9 @@ class Environment:
             self._sched_log.append(idx)
             self._sched_fanout.append(len(ready))
             chosen = ready.pop(idx)
+            fl = self.flight
+            if fl is not None:
+                fl.note("sched", "sched.tiebreak", idx, len(ready) + 1)
             for entry in ready:
                 heapq.heappush(self._heap, entry)
         event = chosen[2]

@@ -18,6 +18,7 @@ from repro.cluster import Cluster
 from repro.common.errors import SimulationError, VerbTimeout
 from repro.locktable import DistributedLockTable
 from repro.obs import ObsConfig
+from repro.obs import postmortem
 from repro.sim.core import Timeout
 from repro.obs import capture as obs_capture
 from repro.workload.generator import LockPicker
@@ -150,15 +151,34 @@ def run_workload(spec: WorkloadSpec, *, obs: "ObsConfig | None" = None,
         window = spec.measure_ns
     else:
         env.run()
+        stuck = [p for _n, _t, p in procs if p.is_alive]
+        if stuck:
+            # The schedule drained with clients parked: simulated
+            # deadlock.  describe_alive names the watched word of each
+            # parked client (via the region label registry).
+            raise postmortem.attach(
+                SimulationError(
+                    f"{len(stuck)}/{len(procs)} clients deadlocked: "
+                    + env.describe_alive()),
+                cluster, reason="deadlock", detail=env.describe_alive(),
+                table=table)
         for node, thread, p in procs:
             if not p.ok:
-                raise SimulationError(
-                    f"client n{node}t{thread} failed: {p.value!r}") from (
+                raise postmortem.attach(
+                    SimulationError(
+                        f"client n{node}t{thread} failed: {p.value!r}"),
+                    cluster, reason="exception",
+                    detail=f"client n{node}t{thread}: {p.value!r}",
+                    table=table) from (
                         p.value if isinstance(p.value, BaseException) else None)
         measured = completed["ops"]
         window = env.now
         if spec.cs_counter:
-            table.check_counters(completed["cs_increments"])
+            try:
+                table.check_counters(completed["cs_increments"])
+            except AssertionError as exc:
+                raise postmortem.attach(exc, cluster, reason="checker",
+                                        detail=str(exc), table=table)
 
     if spec.audit != "off":
         cluster.auditor.assert_clean()

@@ -196,6 +196,41 @@ class TestLeaseRecovery:
             lease_ns=50_000.0, verb_loss_rate=0.005, **RETRY)))
         assert res.fault_stats["lease_expirations"] == 0
 
+    def test_expiry_freezes_a_postmortem(self):
+        """A lease expiry snapshots the table state even though the run
+        continues degraded (tentpole: every failure carries evidence)."""
+        import json
+
+        from repro.locktable import DistributedLockTable
+        from repro.obs.postmortem import SCHEMA
+
+        cluster = Cluster(1, audit="off")
+        table = DistributedLockTable(cluster, 1, "spinlock",
+                                     lease_ns=1_000.0)
+        env = cluster.env
+        holder, waiter = cluster.thread_ctx(0, 0), cluster.thread_ctx(0, 1)
+
+        def stalled_holder():
+            yield from table.acquire(holder, 0)
+            yield env.timeout(5_000.0)  # sit on the lock past the lease
+            yield from table.release(holder, 0)
+
+        def blocked_waiter():
+            yield from table.acquire(waiter, 0)
+            yield from table.release(waiter, 0)
+
+        env.process(stalled_holder())
+        env.process(blocked_waiter())
+        cluster.run()
+        assert table.lease_expirations > 0
+        dump = json.loads(table.last_postmortem)
+        assert dump["schema"] == SCHEMA
+        assert dump["reason"] == "lease-expiry"
+        assert "spinlock[0]@n0" in dump["detail"]
+        assert dump["locks"][0]["holder"] == "t0@n0"
+        assert any(e.kind == "lease.expired"
+                   for e in cluster.flight.window())
+
 
 @pytest.mark.faults
 def test_ext_faults_experiment_smoke():

@@ -1,0 +1,54 @@
+"""Fixture: flight-recorder call sites, guarded and bare."""
+
+
+class Hot:
+    def __init__(self, cluster):
+        self._flight = cluster.flight
+        self.flight = cluster.flight
+
+    def bare_attr(self, actor):
+        self._flight.note(actor, "lock.acquired", "l0")      # unguarded
+
+    def bare_local(self, actor):
+        fl = self._flight
+        fl.note(actor, "lock.wait", "l0", "budget")          # unguarded
+
+    def wrong_guard(self, actor, ready):
+        fl = self._flight
+        if ready:                                            # guards the wrong thing
+            fl.note(actor, "verb.issue", "rCAS", 1)
+
+
+def bare_module_level(ctx, actor):
+    ctx._flight.note(actor, "desc.begin", "d0")              # unguarded
+
+
+# -- fine ------------------------------------------------------------------
+
+class Fine:
+    def __init__(self, cluster):
+        self._flight = cluster.flight
+
+    def idiom(self, actor):
+        fl = self._flight
+        if fl is not None:
+            fl.note(actor, "lock.released", "l0")
+
+    def direct(self, actor):
+        if self._flight is not None:
+            self._flight.note(actor, "lock.acquired", "l0")
+
+    def conjoined(self, actor, ready):
+        fl = self._flight
+        if ready and fl is not None:
+            fl.note(actor, "sched.tiebreak", 0, 2)
+
+    def nested(self, actor):
+        fl = self._flight
+        if fl is not None:
+            for _ in range(2):
+                fl.note(actor, "lock.wait", "l0", "next")
+
+    def not_a_recorder(self, actor):
+        journal = object()
+        journal.note(actor)  # receiver is not flight-ish: out of scope

@@ -183,6 +183,46 @@ class TestProcessBoundaryRule:
         assert "repro.parallel" in DEFAULT_SENSITIVE_PACKAGES
 
 
+class TestGuardedTraceSiteRule:
+    def test_fires_on_every_bare_site(self):
+        findings = [f for f in lint_fixture("trace.py")
+                    if f.rule == "guarded-trace-site"]
+        messages = " | ".join(f.message for f in findings)
+        assert len(findings) == 4, findings
+        assert "'self._flight.note()'" in messages
+        assert "'fl.note()'" in messages
+        assert "'ctx._flight.note()'" in messages
+
+    def test_guarded_idioms_are_clean(self):
+        findings = [f for f in lint_fixture("trace.py")
+                    if f.rule == "guarded-trace-site"]
+        fine_start = 27  # the fixture's "fine" section
+        assert not [f for f in findings if f.line >= fine_start], findings
+
+    def test_silent_outside_sim_packages(self):
+        findings = lint_file(FIXTURES / "trace.py", module="tests.fixture")
+        assert "guarded-trace-site" not in rules_fired(findings)
+
+    def test_recorder_module_is_exempt_and_registered(self):
+        from repro.lint.rules import (DEFAULT_SENSITIVE_PACKAGES,
+                                      FLIGHT_MODULE, GuardedTraceSiteRule)
+        assert FLIGHT_MODULE in DEFAULT_SENSITIVE_PACKAGES
+        assert FLIGHT_MODULE in GuardedTraceSiteRule.exempt_modules
+
+    def test_real_call_sites_are_all_guarded(self):
+        """The shipped tree must satisfy its own rule (lock hot paths,
+        faults, network, scheduler)."""
+        import repro.locks.alock.alock as _  # anchor: src layout on path
+        root = Path(_.__file__).resolve().parents[3]
+        bad = []
+        for path in sorted(root.rglob("*.py")):
+            rel = path.relative_to(root.parent)
+            module = ".".join(rel.with_suffix("").parts)
+            bad += [f for f in lint_file(path, module=module)
+                    if f.rule == "guarded-trace-site"]
+        assert not bad, bad
+
+
 class TestRuleFrameworkContracts:
     def test_every_shipped_rule_has_a_distinct_id(self):
         ids = [r.rule_id for r in default_rules()]

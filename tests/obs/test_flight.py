@@ -1,0 +1,123 @@
+"""Flight-recorder unit tests: the ring's bounded-eviction, windowing,
+and read-side contracts, plus its wiring into Cluster."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.locks import make_lock
+from repro.obs.flight import DEFAULT_CAPACITY, FlightEvent, FlightRecorder
+from repro.sim import Environment
+
+
+def recorder(capacity=8):
+    return FlightRecorder(Environment(), capacity=capacity)
+
+
+class TestRing:
+    def test_capacity_evicts_oldest_in_order(self):
+        fl = recorder(capacity=4)
+        for i in range(10):
+            fl.note("a", "k", i)
+        assert len(fl) == 4
+        assert [e.detail[0] for e in fl.window()] == [6, 7, 8, 9]
+
+    def test_window_last_n_oldest_first(self):
+        fl = recorder()
+        for i in range(5):
+            fl.note("a", "k", i)
+        assert [e.detail[0] for e in fl.window(2)] == [3, 4]
+        # last=None and last >= len both return the whole ring
+        assert len(fl.window()) == len(fl.window(99)) == 5
+
+    def test_events_are_timestamped_from_the_sim_clock(self):
+        env = Environment()
+        fl = FlightRecorder(env)
+
+        def proc():
+            fl.note("p", "before")
+            yield env.timeout(150.0)
+            fl.note("p", "after")
+
+        env.process(proc())
+        env.run()
+        (before, after) = fl.window()
+        assert (before.t_ns, after.t_ns) == (0.0, 150.0)
+
+    def test_last_actions_sorted_by_actor(self):
+        fl = recorder()
+        fl.note("b", "k1")
+        fl.note("a", "k2")
+        fl.note("b", "k3", "x")
+        last = fl.last_actions()
+        assert list(last) == ["a", "b"]
+        assert last["b"].kind == "k3"
+
+    def test_filtered_by_kind_prefix(self):
+        fl = recorder()
+        fl.note("a", "lock.wait", "l0")
+        fl.note("a", "verb.issue", "rCAS")
+        fl.note("a", "lock.acquired", "l0")
+        assert [e.kind for e in fl.filtered("lock.")] == \
+            ["lock.wait", "lock.acquired"]
+
+    def test_clear(self):
+        fl = recorder()
+        fl.note("a", "k")
+        fl.clear()
+        assert len(fl) == 0 and fl.window() == []
+
+    def test_event_accessors(self):
+        fl = recorder()
+        fl.note("actor", "kind", "d0", 1)
+        (e,) = fl.window()
+        assert isinstance(e, FlightEvent)
+        assert (e.actor, e.kind, e.detail) == ("actor", "kind", ("d0", 1))
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            recorder(capacity=0)
+
+
+class TestClusterWiring:
+    def test_on_by_default_off_by_request(self):
+        assert Cluster(1, audit="off").flight is not None
+        assert Cluster(1, audit="off", flight=False).flight is None
+
+    def test_capacity_plumbed_through(self):
+        cluster = Cluster(1, audit="off", flight_capacity=16)
+        assert cluster.flight.capacity == 16
+        assert Cluster(1, audit="off").flight.capacity == DEFAULT_CAPACITY
+
+    def test_protocol_chokepoints_recorded(self):
+        cluster = Cluster(2, audit="off")
+        lock = make_lock("alock", cluster, 0)
+        ctx = cluster.thread_ctx(1, 0)  # remote cohort: issues verbs
+
+        def proc():
+            yield from lock.lock(ctx)
+            yield from lock.unlock(ctx)
+
+        cluster.env.process(proc())
+        cluster.run()
+        kinds = [e.kind for e in cluster.flight.window()]
+        for expected in ("verb.issue", "desc.begin", "lock.acquired",
+                         "lock.released"):
+            assert expected in kinds, kinds
+        # acquire precedes release in ring order
+        assert kinds.index("lock.acquired") < kinds.index("lock.released")
+
+    def test_poll_verbs_stay_unrecorded(self):
+        """r_read/r_write are the spin verbs; recording them would blow
+        the <3% budget and flood the ring (see ThreadContext.r_read)."""
+        cluster = Cluster(2, audit="off")
+        ctx = cluster.thread_ctx(0, 0)
+        ptr = cluster.alloc_on(1, 8)
+
+        def proc():
+            yield from ctx.r_write(ptr, 7)
+            value = yield from ctx.r_read(ptr)
+            assert value == 7
+
+        cluster.env.process(proc())
+        cluster.run()
+        assert cluster.flight.filtered("verb.") == []

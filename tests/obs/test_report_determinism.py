@@ -1,0 +1,36 @@
+"""Satellite 3: post-mortem dumps are byte-deterministic.
+
+``python -m repro.obs.report --selftest`` explores the seeded
+``lost_wakeup`` bug, then prints the failure's dump JSON, its Perfetto
+trace slice, and the rendered report.  Same seed + same schedule must
+produce byte-identical output regardless of ``PYTHONHASHSEED`` — any
+set/dict-ordering leak in the snapshot path fails here."""
+
+import os
+import subprocess
+import sys
+
+SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+
+def run_report_selftest(hashseed: str) -> bytes:
+    env = dict(os.environ, PYTHONHASHSEED=hashseed,
+               PYTHONPATH=os.path.abspath(SRC))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.obs.report", "--selftest"],
+        capture_output=True, env=env, timeout=300)
+    assert proc.returncode == 0, proc.stderr.decode()
+    return proc.stdout
+
+
+class TestDumpDeterminism:
+    def test_byte_identical_across_hash_seeds(self):
+        out0 = run_report_selftest("0")
+        out1 = run_report_selftest("424242")
+        assert out0 == out1, "post-mortem output depends on PYTHONHASHSEED"
+        # sanity: the canary actually produced a substantive post-mortem
+        assert b'"schema": "alock-postmortem/1"' in out0.replace(b'":"', b'": "')
+        assert b"wait_for" in out0
+        assert b"suspected rule:" in out0
+        assert b"replay: decisions" in out0
+        assert b"traceEvents" in out0  # the Perfetto slice
