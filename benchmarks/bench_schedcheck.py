@@ -91,3 +91,26 @@ def test_schedcheck_bug_hunt_and_shrink(benchmark):
     benchmark.extra_info["schedules_to_find"] = report.schedules_run
     benchmark.extra_info["shrink_replays"] = shrunk.replays_used
     benchmark.extra_info["shrunk_decisions"] = shrunk.size
+
+
+def test_schedcheck_fleet_rate(benchmark):
+    """Serial fleet throughput with coverage folding and candidate
+    breeding on — the per-schedule overhead of steering over a bare
+    explore_random loop."""
+    from repro.schedcheck.fleet import FleetConfig, run_fleet
+
+    n = 32
+    config = FleetConfig(scenarios=(("alock_small", ALOCK_SMALL),),
+                         budget=n, seed=11, cell_size=8, cells_per_round=2,
+                         stop_on_find=False, shrink=False)
+
+    def run():
+        return run_fleet(config)
+
+    report = run_once(benchmark, run)
+    assert report.total_schedules == n
+    s = report.scenarios[0]
+    benchmark.extra_info["schedules_per_s"] = round(
+        n / benchmark.stats["mean"], 1)
+    benchmark.extra_info["novel_prefixes"] = s.coverage["prefixes_seen"]
+    benchmark.extra_info["mutations_run"] = s.mut_run

@@ -15,6 +15,10 @@
     alock-experiments explore --lock mcs --lock-option bug=lost_wakeup \\
         --lock-option poll_interval_ns=200 --nodes 1 --threads 3 --ops 3
     alock-experiments explore --replay "9:1" --lock alock ...
+    alock-experiments fleet --workers 4 --budget 2000 --expect-find \\
+        --write-corpus --corpus-dir tests/schedcheck/corpus
+    alock-experiments fleet --preset faults --budget 500 --workers 4
+    alock-experiments fleet --preset bugs-hard --no-coverage   # baseline
 """
 
 from __future__ import annotations
@@ -168,6 +172,52 @@ def _explore(args) -> int:
     return 1
 
 
+def _fleet(args) -> int:
+    from repro.schedcheck.fleet import (
+        PRESETS,
+        FleetConfig,
+        run_fleet,
+        write_fleet_corpus,
+    )
+
+    preset = PRESETS[args.preset]
+    # The preset's per-bug budgets are the documented *serial* repro
+    # constants; a fleet run explores all scenarios at one shared budget.
+    budget = args.budget
+    if budget is None:
+        budget = max(b for _name, _sc, b in preset)
+    config = FleetConfig(
+        scenarios=tuple((name, sc) for name, sc, _b in preset),
+        budget=budget, seed=args.seed, coverage=args.coverage,
+        cell_size=args.cell_size, cells_per_round=args.cells_per_round,
+        policy=args.policy, shrink=not args.no_shrink)
+    workers = _resolve_workers(args)
+
+    def _progress(report) -> None:
+        print(f"  round {report.rounds}: {report.total_schedules} "
+              f"schedules, {len(report.found)}/{len(report.scenarios)} "
+              f"scenario(s) failing", file=sys.stderr)
+
+    report = run_fleet(config, workers=workers,
+                       on_round=_progress if args.progress else None)
+    print(report.summary())
+    if args.report_out:
+        with open(args.report_out, "wb") as fh:
+            fh.write(report.to_json_bytes())
+        print(f"report: {args.report_out}")
+    if args.write_corpus:
+        for path in write_fleet_corpus(report, args.corpus_dir):
+            print(f"corpus: {path}")
+    if args.expect_find:
+        missing = [s.name for s in report.scenarios if s.first_find is None]
+        if missing:
+            print(f"expected a failure in every scenario; none found for: "
+                  f"{', '.join(missing)}", file=sys.stderr)
+            return 1
+        return 0
+    return 1 if report.found else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="alock-experiments",
@@ -286,7 +336,60 @@ def main(argv: list[str] | None = None) -> int:
     exp_p.add_argument("--replay", default=None, metavar="DECISIONS",
                        help="skip exploration; replay this decision string "
                             "('-' for the default schedule)")
+    fleet_p = sub.add_parser(
+        "fleet",
+        help="parallel coverage-steered exploration of a scenario preset; "
+             "report and corpus bytes are identical at any worker count")
+    fleet_p.add_argument("--preset", default="bugs",
+                         choices=("bugs", "bugs-hard", "faults"),
+                         help="scenario set: the seeded lock defects, their "
+                              "hardened (staggered) variants, or correct "
+                              "locks under fault injection")
+    fleet_p.add_argument("--budget", type=int, default=None, metavar="N",
+                         help="schedule budget per scenario (default: the "
+                              "preset's largest documented repro budget)")
+    fleet_p.add_argument("--seed", type=int, default=0,
+                         help="master fleet seed")
+    fleet_p.add_argument("--coverage", action=argparse.BooleanOptionalAction,
+                         default=True,
+                         help="novelty steering from interleaving-prefix "
+                              "coverage (--no-coverage = pure seeded walks, "
+                              "the quality-comparison baseline)")
+    fleet_p.add_argument("--cell-size", type=int, default=16, metavar="N",
+                         help="schedules per worker cell")
+    fleet_p.add_argument("--cells-per-round", type=int, default=4, metavar="N",
+                         help="cells each active scenario adds per round")
+    fleet_p.add_argument("--policy", default="random",
+                         choices=("random", "pct"),
+                         help="base walk policy for fresh schedules")
+    fleet_p.add_argument("--no-shrink", action="store_true",
+                         help="skip ddmin of each scenario's first failure")
+    fleet_p.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="worker processes (0/1 = serial)")
+    fleet_p.add_argument("--parallel", action="store_true",
+                         help="shorthand for --workers <cpu count>")
+    fleet_p.add_argument("--corpus-dir", default=".alock-corpus",
+                         metavar="DIR",
+                         help="where --write-corpus puts entries "
+                              "(default .alock-corpus)")
+    fleet_p.add_argument("--write-corpus", action="store_true",
+                         help="freeze each scenario's shrunk first failure "
+                              "as a content-addressed corpus entry (plus "
+                              "its post-mortem dump)")
+    fleet_p.add_argument("--report", default=None, dest="report_out",
+                         metavar="FILE",
+                         help="write the canonical fleet report JSON here")
+    fleet_p.add_argument("--expect-find", action="store_true",
+                         help="exit 0 only if *every* scenario produced a "
+                              "failure (bug-hunt/CI-gate mode; default "
+                              "exit semantics match 'explore': finding a "
+                              "failure exits 1)")
+    fleet_p.add_argument("--progress", action="store_true",
+                         help="print a line per round (stderr)")
     args = parser.parse_args(argv)
+
+    if args.command == "fleet":
+        return _fleet(args)
 
     if args.command == "explore":
         return _explore(args)

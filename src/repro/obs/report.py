@@ -12,6 +12,12 @@ as a starting point for the code hunt.
 a Chrome/Perfetto trace slice (instant events per actor, same
 byte-determinism discipline as :mod:`repro.obs.export`).
 
+The tool also reads counterexample-corpus entries (schema
+``alock-corpus/1``, see :mod:`repro.schedcheck.corpus`): it prints the
+entry header — scenario recipe, minimized decision string, replay
+command — and then renders the referenced post-mortem dump, resolved
+relative to the entry file.
+
 ``--selftest`` runs a seeded exploration of the ``lost_wakeup`` seeded
 bug and prints the first failure's dump and report — the tier-1
 determinism gate runs it under different ``PYTHONHASHSEED`` values and
@@ -22,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.obs.postmortem import render_cycle
@@ -145,6 +152,63 @@ def render_report(dump: dict, timeline: int = TIMELINE_LIMIT) -> str:
     return "\n".join(lines)
 
 
+# -- corpus entries ------------------------------------------------------
+
+#: matches repro.schedcheck.corpus.SCHEMA (string literal so this
+#: reader stays importable without the schedcheck package)
+CORPUS_SCHEMA = "alock-corpus/1"
+
+
+def render_corpus_entry(payload: dict, base_dir: str = "",
+                        timeline: int = TIMELINE_LIMIT) -> str:
+    """A corpus entry's header plus — when its ``dump_ref`` resolves on
+    disk relative to ``base_dir`` — the referenced post-mortem report."""
+    lines: list[str] = []
+    add = lines.append
+    add(f"== corpus entry: {payload.get('name', '?')} "
+        f"({payload.get('failure_kind', '?')}) ==")
+    scenario = payload.get("scenario", {})
+    opts = " ".join(f"{k}={v}" for k, v in scenario.get("lock_options", []))
+    add(f"scenario: {scenario.get('lock_kind', '?')} "
+        f"nodes={scenario.get('n_nodes', '?')} "
+        f"threads={scenario.get('threads_per_node', '?')} "
+        f"ops={scenario.get('ops_per_thread', '?')} "
+        f"seed={scenario.get('seed', '?')}"
+        + (f" [{opts}]" if opts else "")
+        + (" +faults" if scenario.get("faults") else ""))
+    add(f"decisions: \"{payload.get('decisions', '')}\"  "
+        f"execution digest {payload.get('digest', '?')}")
+    if payload.get("detail"):
+        add(f"detail: {payload['detail']}")
+    prov = payload.get("provenance", {})
+    if prov:
+        prov_s = " ".join(f"{k}={v}" for k, v in sorted(prov.items()))
+        add(f"provenance: {prov_s}")
+    add("replay: alock-experiments explore --replay "
+        f"\"{payload.get('decisions', '') or '-'}\" "
+        f"--lock {scenario.get('lock_kind', '?')}"
+        f" --nodes {scenario.get('n_nodes', '?')}"
+        f" --threads {scenario.get('threads_per_node', '?')}"
+        f" --ops {scenario.get('ops_per_thread', '?')}"
+        f" --scenario-seed {scenario.get('seed', '?')}"
+        + "".join(f" --lock-option {k}={v}"
+                  for k, v in scenario.get("lock_options", [])))
+    dump_ref = payload.get("dump_ref")
+    if dump_ref:
+        dump_path = os.path.join(base_dir, dump_ref)
+        if os.path.exists(dump_path):
+            with open(dump_path, encoding="utf-8") as fh:
+                dump = json.load(fh)
+            add("")
+            add(render_report(dump, timeline=timeline))
+        else:
+            add(f"(referenced dump {dump_ref} not found under "
+                f"{base_dir or '.'})")
+    else:
+        add("(no post-mortem dump recorded for this entry)")
+    return "\n".join(lines)
+
+
 # -- Perfetto trace slice ------------------------------------------------
 
 def perfetto_events(dump: dict) -> list[dict]:
@@ -225,9 +289,15 @@ def main(argv=None) -> int:
         parser.error("a dump path is required (or --selftest)")
     if args.dump == "-":
         dump = json.load(sys.stdin)
+        base_dir = ""
     else:
         with open(args.dump, encoding="utf-8") as fh:
             dump = json.load(fh)
+        base_dir = os.path.dirname(os.path.abspath(args.dump))
+    if dump.get("schema") == CORPUS_SCHEMA:
+        print(render_corpus_entry(dump, base_dir=base_dir,
+                                  timeline=args.timeline))
+        return 0
     print(render_report(dump, timeline=args.timeline))
     if args.perfetto:
         with open(args.perfetto, "w", encoding="utf-8") as fh:

@@ -22,6 +22,13 @@ from repro.schedcheck.checkers import (
     check_linearizability,
     run_all_checkers,
 )
+from repro.schedcheck.corpus import (
+    CorpusEntry,
+    check_entry,
+    load_corpus,
+    write_entry,
+)
+from repro.schedcheck.coverage import CoverageMap, MutationCandidate
 from repro.schedcheck.decisions import Decisions
 from repro.schedcheck.explore import (
     ExplorationReport,
@@ -31,6 +38,12 @@ from repro.schedcheck.explore import (
     explore_random,
     replay,
     run_schedule,
+)
+from repro.schedcheck.fleet import (
+    FleetConfig,
+    FleetReport,
+    run_fleet,
+    write_fleet_corpus,
 )
 from repro.schedcheck.history import HistoryRecorder, Op
 from repro.schedcheck.linearize import (
@@ -43,6 +56,7 @@ from repro.schedcheck.policies import (
     FifoPolicy,
     PctPolicy,
     PrefixPolicy,
+    PrefixThenRandomPolicy,
     RandomWalkPolicy,
     ReplayPolicy,
     SchedulePolicy,
@@ -52,12 +66,15 @@ from repro.schedcheck.scenario import BuiltRun, LockScenario
 from repro.schedcheck.shrink import ShrinkResult, shrink_failure
 
 __all__ = [
-    "BuiltRun", "CounterModel", "Decisions", "ExplorationReport",
-    "FifoPolicy", "HistoryRecorder", "KvModel", "LockScenario", "Op",
-    "PctPolicy", "PrefixPolicy", "RandomWalkPolicy", "ReplayPolicy",
-    "SchedulePolicy", "ScheduleResult", "ShrinkResult",
-    "check_budget_bounds", "check_cs_overlap", "check_history",
-    "check_linearizability", "check_linearizable", "enumerate_schedules",
-    "execution_digest", "explore_random", "make_policy", "replay",
-    "run_all_checkers", "run_schedule", "shrink_failure",
+    "BuiltRun", "CorpusEntry", "CounterModel", "CoverageMap", "Decisions",
+    "ExplorationReport", "FifoPolicy", "FleetConfig", "FleetReport",
+    "HistoryRecorder", "KvModel", "LockScenario", "MutationCandidate", "Op",
+    "PctPolicy", "PrefixPolicy", "PrefixThenRandomPolicy",
+    "RandomWalkPolicy", "ReplayPolicy", "SchedulePolicy", "ScheduleResult",
+    "ShrinkResult", "check_budget_bounds", "check_cs_overlap",
+    "check_entry", "check_history", "check_linearizability",
+    "check_linearizable", "enumerate_schedules", "execution_digest",
+    "explore_random", "load_corpus", "make_policy", "replay",
+    "run_all_checkers", "run_fleet", "run_schedule", "shrink_failure",
+    "write_entry", "write_fleet_corpus",
 ]

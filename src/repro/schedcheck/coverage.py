@@ -1,0 +1,225 @@
+"""Interleaving-prefix coverage: the signal that steers the fleet.
+
+A schedule's identity, up to choice point ``k``, is the sequence of
+``(decision, fanout)`` pairs the policy produced at points ``0..k`` —
+the *interleaving prefix*.  Hashing every prefix of every run into a
+seen-set gives exploration a cheap novelty signal:
+
+* a run whose prefixes are all already seen re-executed a known region
+  of the tie-break tree (random walks do this constantly: most of their
+  per-point entropy is spent re-rolling the same early choices);
+* a *novel* prefix at point ``k`` means the run entered territory no
+  previous schedule touched from point ``k`` onward.
+
+The steering trick is that **sibling prefixes are computable without
+running anything**: at a novel point ``k`` with fanout ``f``, each of
+the ``f - 1`` alternative decisions names an unexplored sibling region,
+and its prefix hash is a pure function of the already-recorded log.
+:func:`sibling_candidates` turns one executed schedule into a batch of
+such near-miss prefixes; the fleet replays the best of them through
+:class:`~repro.schedcheck.policies.PrefixThenRandomPolicy` (forced
+prefix, then a seeded random tail) instead of rolling yet another walk
+from the root.
+
+Hashes are incremental blake2b over the byte-rendered pairs, so prefix
+``k``'s hash costs O(1) given prefix ``k - 1``'s state — and they are
+PYTHONHASHSEED-immune, unlike ``hash()``.  Everything here is pure
+parent-side bookkeeping: workers only ship their decision/fanout logs
+home (primitives), and the merge is a set union, so the resulting
+coverage map is independent of worker count and completion order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+#: default prefix depth cap: points past this depth still execute, they
+#: just stop contributing coverage (deep tails are mostly think-time
+#: noise, and the cap bounds per-run bookkeeping to O(depth)).
+DEFAULT_DEPTH = 64
+
+#: candidate-pool sizing: generation stops accepting new candidates at
+#: ``POOL_HIGH`` and the pool is re-ranked and clipped to ``POOL_LOW``
+#: after every observation round.
+POOL_HIGH = 512
+POOL_LOW = 256
+
+
+def _hasher() -> "hashlib._Hash":
+    return hashlib.blake2b(digest_size=8)
+
+
+def iter_prefix_hashes(dense: Sequence[int], fanouts: Sequence[int],
+                       depth: int = DEFAULT_DEPTH) -> Iterator[str]:
+    """Yield the prefix hash at each choice point of one run, in order.
+
+    Point ``k``'s hash covers pairs ``0..k`` inclusive.  Only the first
+    ``depth`` points are hashed.
+    """
+    h = _hasher()
+    for k in range(min(len(dense), len(fanouts), depth)):
+        h.update(b"%d/%d;" % (dense[k], fanouts[k]))
+        yield h.hexdigest()
+
+
+def prefix_hash(dense: Sequence[int], fanouts: Sequence[int]) -> str:
+    """Hash of one complete prefix (the last value of
+    :func:`iter_prefix_hashes` run to ``len(dense)``)."""
+    h = _hasher()
+    for d, f in zip(dense, fanouts):
+        h.update(b"%d/%d;" % (d, f))
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class MutationCandidate:
+    """One unexplored sibling prefix, ready to force.
+
+    Attributes:
+        prefix: dense decision prefix ending in the flipped choice.
+        hash: the sibling prefix's hash (dedup key; once this prefix
+            executes, the run's own coverage marks it seen).
+        weight: novelty count of the source run — runs that discovered
+            more new territory breed higher-priority candidates.
+        order: global generation sequence number; the deterministic
+            tie-break under equal weight (earlier = first).
+    """
+
+    prefix: tuple
+    hash: str
+    weight: int
+    order: int
+
+
+class CoverageMap:
+    """The seen-set of interleaving prefixes plus the candidate pool.
+
+    ``observe`` is called by the fleet parent for every completed
+    schedule **in deterministic merge order** (cell index, then in-cell
+    index); because membership is a set union, the final map is the same
+    for any worker count — only the ``novel`` attribution per run
+    depends on order, which is why the order is fixed.
+    """
+
+    def __init__(self, depth: int = DEFAULT_DEPTH,
+                 pool_high: int = POOL_HIGH, pool_low: int = POOL_LOW):
+        self.depth = depth
+        self.pool_high = pool_high
+        self.pool_low = pool_low
+        self._seen: set[str] = set()
+        self._queued: set[str] = set()
+        self._pool: list[MutationCandidate] = []
+        self._order = 0
+        self.runs_observed = 0
+        self.novel_runs = 0
+        self.candidates_generated = 0
+        self.candidates_issued = 0
+
+    # -- observation ----------------------------------------------------
+
+    def observe(self, dense: Sequence[int],
+                fanouts: Sequence[int]) -> tuple[int, ...]:
+        """Fold one run's log into the seen-set.
+
+        Returns the choice-point indices whose prefixes were novel (used
+        by :meth:`breed` to generate siblings).
+        """
+        novel: list[int] = []
+        for k, h in enumerate(iter_prefix_hashes(dense, fanouts, self.depth)):
+            if h not in self._seen:
+                self._seen.add(h)
+                novel.append(k)
+        self.runs_observed += 1
+        if novel:
+            self.novel_runs += 1
+        return tuple(novel)
+
+    def breed(self, dense: Sequence[int], fanouts: Sequence[int],
+              novel_points: Iterable[int]) -> int:
+        """Generate sibling candidates at each novel point of a run.
+
+        At novel point ``k`` every alternative decision ``alt != dense[k]``
+        (with the same observed fanout) names a sibling prefix; unseen,
+        unqueued siblings join the pool weighted by the run's novelty
+        count.  Returns how many candidates were added.
+        """
+        novel_points = tuple(novel_points)
+        weight = len(novel_points)
+        added = 0
+        h = _hasher()
+        hashed_to = 0
+        for k in novel_points:
+            if k >= self.depth or len(self._pool) >= self.pool_high:
+                break
+            # advance the incremental hash state to just before point k
+            while hashed_to < k:
+                h.update(b"%d/%d;" % (dense[hashed_to], fanouts[hashed_to]))
+                hashed_to += 1
+            for alt in range(fanouts[k]):
+                if alt == dense[k]:
+                    continue
+                sib = h.copy()
+                sib.update(b"%d/%d;" % (alt, fanouts[k]))
+                sib_hash = sib.hexdigest()
+                if sib_hash in self._seen or sib_hash in self._queued:
+                    continue
+                self._queued.add(sib_hash)
+                self._pool.append(MutationCandidate(
+                    prefix=tuple(dense[:k]) + (alt,), hash=sib_hash,
+                    weight=weight, order=self._order))
+                self._order += 1
+                added += 1
+                if len(self._pool) >= self.pool_high:
+                    break
+        self.candidates_generated += added
+        return added
+
+    # -- scheduling -----------------------------------------------------
+
+    def rerank(self) -> None:
+        """Re-rank the pool — highest novelty weight first, generation
+        order as tie-break — and clip it to ``pool_low``."""
+        self._pool.sort(key=lambda c: (-c.weight, c.order))
+        for dropped in self._pool[self.pool_low:]:
+            self._queued.discard(dropped.hash)
+        del self._pool[self.pool_low:]
+
+    def take(self, n: int) -> list[MutationCandidate]:
+        """Pop the ``n`` best candidates for the next mutation batch."""
+        taken = self._pool[:n]
+        del self._pool[:n]
+        for cand in taken:
+            self._queued.discard(cand.hash)
+        self.candidates_issued += len(taken)
+        return taken
+
+    # -- reporting ------------------------------------------------------
+
+    @property
+    def prefixes_seen(self) -> int:
+        return len(self._seen)
+
+    @property
+    def pool_size(self) -> int:
+        return len(self._pool)
+
+    def summary(self) -> dict:
+        """Primitive snapshot for reports; deterministic (counts only —
+        the set itself is never iterated)."""
+        return {
+            "prefixes_seen": self.prefixes_seen,
+            "runs_observed": self.runs_observed,
+            "novel_runs": self.novel_runs,
+            "candidates_generated": self.candidates_generated,
+            "candidates_issued": self.candidates_issued,
+            "pool_size": self.pool_size,
+            "depth": self.depth,
+        }
+
+
+__all__ = [
+    "DEFAULT_DEPTH", "CoverageMap", "MutationCandidate",
+    "iter_prefix_hashes", "prefix_hash",
+]

@@ -152,15 +152,37 @@ def run_schedule(scenario, policy: Optional[SchedulePolicy],
     return result
 
 
-def replay(scenario, decisions) -> ScheduleResult:
+def replay(scenario, decisions, strict: bool = False) -> ScheduleResult:
     """Re-execute a recorded (possibly shrunk) decision string.
 
     ``decisions`` may be a :class:`Decisions`, a mapping, or a rendered
     string like ``"17:2,45:1"``.
+
+    ``strict=True`` is the corpus-replay mode: when the scenario has
+    drifted under the recording — the run ended before a recorded
+    decision point, or a recorded pick had to be clamped to a narrower
+    ready list — the result is reported as failure kind ``"stale"``
+    instead of whatever the unfaithfully-replayed schedule happened to
+    do.  A stale result's detail carries a re-shrink hint: the entry's
+    decision string no longer describes this scenario and must be
+    re-found and re-shrunk, not trusted.
     """
     if isinstance(decisions, str):
         decisions = Decisions.parse(decisions)
-    return run_schedule(scenario, ReplayPolicy(decisions))
+    policy = ReplayPolicy(decisions)
+    result = run_schedule(scenario, policy)
+    if strict:
+        drift = policy.drift()
+        if drift:
+            result.ok = False
+            result.failure_kind = "stale"
+            result.detail = (
+                "stale corpus entry: the scenario drifted under the "
+                "recorded decisions (" + "; ".join(drift) + "); re-find "
+                "and re-shrink it, e.g. alock-experiments fleet "
+                "--write-corpus against the current code")
+            result.dump = None
+    return result
 
 
 @dataclass

@@ -156,6 +156,17 @@ class ReplayPolicy(SchedulePolicy):
     string does not mention, which is what makes shrunk/truncated
     strings replayable).  Out-of-range choices are clamped to the last
     ready index so edited strings stay executable.
+
+    Both forgiving behaviours are exactly wrong for a *corpus* replay,
+    where the decision string is a contract against a specific scenario
+    build: if the scenario has drifted under the recording (fewer choice
+    points, narrower fanouts), clamping and played-past-the-end defaults
+    silently execute a schedule the recording never described.  The
+    policy therefore tracks what actually happened — ``consumed`` choice
+    points and every ``clamped`` pick — and
+    :func:`~repro.schedcheck.explore.replay` with ``strict=True`` turns
+    any drift into a distinct ``"stale"`` failure instead of a bogus
+    pass/fail verdict.
     """
 
     def __init__(self, decisions: "Decisions | dict[int, int] | None"):
@@ -165,11 +176,37 @@ class ReplayPolicy(SchedulePolicy):
             decisions = Decisions.from_mapping(decisions)
         self.decisions = decisions
         self._k = 0
+        #: recorded (choice_index, wanted, fanout) for every clamped pick
+        self.clamped: list[tuple[int, int, int]] = []
+
+    @property
+    def consumed(self) -> int:
+        """Choice points the replayed run actually reached."""
+        return self._k
 
     def choose(self, ready: Sequence[tuple]) -> int:
         idx = self.decisions.get(self._k)
+        if idx >= len(ready):
+            self.clamped.append((self._k, idx, len(ready)))
+            idx = len(ready) - 1
         self._k += 1
-        return min(idx, len(ready) - 1)
+        return idx
+
+    def drift(self) -> "list[str]":
+        """Mismatches between the recording and the run just executed:
+        empty when the replay was faithful.  Meaningful only after the
+        run completes."""
+        problems = []
+        for k, wanted, fanout in self.clamped:
+            problems.append(f"decision {k}:{wanted} clamped to "
+                            f"{fanout - 1} (only {fanout} ready)")
+        if self.decisions.last_index >= self._k:
+            unreached = [f"{k}:{v}" for k, v in self.decisions.items()
+                         if k >= self._k]
+            problems.append(
+                f"run ended after {self._k} choice points, before "
+                f"recorded decision(s) {','.join(unreached)}")
+        return problems
 
 
 class PrefixPolicy(SchedulePolicy):
@@ -190,6 +227,33 @@ class PrefixPolicy(SchedulePolicy):
         return min(idx, len(ready) - 1)
 
 
+class PrefixThenRandomPolicy(SchedulePolicy):
+    """Forces a dense decision prefix, then explores randomly.
+
+    The fleet's mutation policy: the prefix navigates to a novel region
+    of the tie-break tree (a sibling of an executed schedule — see
+    :mod:`repro.schedcheck.coverage`), the seeded random tail explores
+    inside it.  Unlike :class:`PrefixPolicy`, whose default tail makes
+    each prefix worth exactly one schedule, the random tail lets one
+    near-miss prefix seed arbitrarily many distinct deep schedules.
+    """
+
+    def __init__(self, prefix: Sequence[int], seed: int):
+        self.prefix = tuple(int(x) for x in prefix)
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(
+            derive_seed(self.seed, "schedcheck", "prefix-tail"))
+        self._k = 0
+
+    def choose(self, ready: Sequence[tuple]) -> int:
+        if self._k < len(self.prefix):
+            idx = min(self.prefix[self._k], len(ready) - 1)
+        else:
+            idx = int(self._rng.integers(0, len(ready)))
+        self._k += 1
+        return idx
+
+
 def make_policy(kind: str, seed: int, *,
                 change_points: int = 3, horizon: int = 500) -> SchedulePolicy:
     """Policy factory used by the explorer and the CLI."""
@@ -205,5 +269,5 @@ def make_policy(kind: str, seed: int, *,
 
 __all__ = [
     "SchedulePolicy", "FifoPolicy", "RandomWalkPolicy", "PctPolicy",
-    "ReplayPolicy", "PrefixPolicy", "make_policy",
+    "ReplayPolicy", "PrefixPolicy", "PrefixThenRandomPolicy", "make_policy",
 ]

@@ -19,6 +19,7 @@ from typing import Callable, Optional
 
 from repro.cluster import Cluster
 from repro.common.errors import ConfigError
+from repro.faults import FaultPlan
 from repro.locktable import DistributedLockTable
 from repro.rdma.config import CostModel, FabricConfig, NicConfig, RdmaConfig
 from repro.schedcheck.history import HistoryRecorder
@@ -149,6 +150,12 @@ class LockScenario:
     #: quantized cost model (see :func:`coarse_config`); False runs the
     #: calibrated CX-3 model, where same-time ties are rare.
     coarse_time: bool = True
+    #: optional fault schedule (verb loss, spikes, crash windows, ...);
+    #: fault draws come from the cluster's seeded RNG registry, so a
+    #: fault-enabled scenario replays exactly like a fault-free one —
+    #: which is what lets the fleet explore interleavings *under*
+    #: injected faults.
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.pick not in PICKERS:
@@ -173,7 +180,7 @@ class LockScenario:
     def build(self) -> BuiltRun:
         n_locks = max(self.n_locks, self.n_nodes)
         cluster = Cluster(self.n_nodes, seed=self.seed, audit=self.audit,
-                          trace=True,
+                          trace=True, faults=self.faults,
                           config=coarse_config() if self.coarse_time else None)
         table = DistributedLockTable(cluster, n_locks, self.lock_kind,
                                      lock_options=dict(self.lock_options))

@@ -10,8 +10,11 @@ replay across machines.
 
 from __future__ import annotations
 
+import hashlib
+
 from repro.common.rng import derive_seed
 from repro.schedcheck.explore import explore_random, replay, run_schedule
+from repro.schedcheck.fleet import SEEDED_BUGS, FleetConfig, run_fleet
 from repro.schedcheck.policies import FifoPolicy, make_policy
 from repro.schedcheck.scenario import LockScenario
 
@@ -36,6 +39,23 @@ def main() -> None:
 
     report = explore_random(sc, 6, seed=23)
     print("explore:", report.summary())
+
+    # A tiny in-process fleet over the seeded bugs: the canonical report
+    # (and hence every frozen corpus entry) must be a pure function of
+    # the config — immune to PYTHONHASHSEED like everything above.
+    config = FleetConfig(
+        scenarios=tuple((name, bug_sc) for name, bug_sc, _b in SEEDED_BUGS),
+        budget=32, seed=1, cell_size=8, cells_per_round=2)
+    fleet = run_fleet(config)
+    digest = hashlib.blake2b(fleet.to_json_bytes(),
+                             digest_size=8).hexdigest()
+    print(f"fleet: report_digest={digest}")
+    for s in fleet.scenarios:
+        entry = "-" if s.entry is None else (
+            f"{s.entry.stem()} decisions=\"{s.entry.decisions}\"")
+        print(f"fleet[{s.name}]: run={s.schedules_run} "
+              f"novel={s.coverage.get('prefixes_seen', 0)} "
+              f"first_find={s.first_find} entry={entry}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,192 @@
+"""Corpus mechanics: round-trips, content addressing, strict staleness.
+
+The staleness tests pin the ``ReplayPolicy`` contract that makes a
+committed corpus trustworthy: the forgiving replay behaviours (clamping
+out-of-range picks, playing index 0 past the end of the recording) are
+*detected* and surfaced as a distinct ``"stale"`` failure — with a
+re-shrink hint — instead of silently executing a schedule the recording
+never described.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.faults import CrashWindow, FaultPlan
+from repro.schedcheck import LockScenario, ReplayPolicy, run_schedule
+from repro.schedcheck.corpus import (
+    CorpusEntry,
+    check_entry,
+    entry_from_payload,
+    entry_json,
+    load_corpus,
+    load_dump,
+    load_entry,
+    scenario_digest,
+    scenario_from_payload,
+    scenario_payload,
+    write_entry,
+)
+from repro.schedcheck.explore import explore_random, replay
+
+BUG_SC = LockScenario(lock_kind="alock", n_nodes=1, threads_per_node=2,
+                      ops_per_thread=4, think_ns=100.0, seed=2,
+                      lock_options=(("bug", "skip_budget_wait"),))
+
+FAULTY_SC = LockScenario(
+    lock_kind="mcs", n_nodes=2, threads_per_node=2, ops_per_thread=2, seed=3,
+    lock_options=(("poll_interval_ns", 200.0),),
+    faults=FaultPlan(verb_loss_rate=0.05, spike_rate=0.1, spike_ns=500.0,
+                     crash_windows=(CrashWindow(node=1, start_ns=100.0,
+                                                end_ns=900.0),)))
+
+
+def find_entry(scenario: LockScenario, name: str = "probe") -> CorpusEntry:
+    """A real (unshrunk) entry from seeded exploration of ``scenario``."""
+    failure = explore_random(scenario, 50, seed=1,
+                             stop_on_failure=True).first_failure
+    assert failure is not None
+    return CorpusEntry(name=name, failure_kind=failure.failure_kind,
+                       scenario=scenario,
+                       decisions=failure.decisions.to_string(),
+                       digest=failure.digest, detail=failure.detail)
+
+
+class TestScenarioRoundTrip:
+    @pytest.mark.parametrize("scenario", [BUG_SC, FAULTY_SC],
+                             ids=["bug", "faults"])
+    def test_payload_round_trips(self, scenario):
+        assert scenario_from_payload(scenario_payload(scenario)) == scenario
+
+    def test_payload_survives_json(self):
+        blob = json.dumps(scenario_payload(FAULTY_SC), sort_keys=True)
+        assert scenario_from_payload(json.loads(blob)) == FAULTY_SC
+
+    def test_digest_tracks_content(self):
+        assert scenario_digest(BUG_SC) == scenario_digest(BUG_SC)
+        assert scenario_digest(BUG_SC) != scenario_digest(FAULTY_SC)
+        bumped = LockScenario(**{**BUG_SC.__dict__, "seed": 3})
+        assert scenario_digest(bumped) != scenario_digest(BUG_SC)
+
+
+class TestEntryStore:
+    def test_entry_round_trips_through_disk(self, tmp_path):
+        entry = find_entry(BUG_SC)
+        path = write_entry(entry, str(tmp_path), dump="{\"x\": 1}")
+        loaded = load_entry(path)
+        assert loaded.decisions == entry.decisions
+        assert loaded.digest == entry.digest
+        assert loaded.scenario == entry.scenario
+        assert loaded.dump_ref is not None
+        assert load_dump(str(tmp_path), loaded) == "{\"x\": 1}\n"
+        # the filename embeds the content address
+        assert loaded.entry_digest() in os.path.basename(path)
+
+    def test_write_is_idempotent(self, tmp_path):
+        entry = find_entry(BUG_SC)
+        a = write_entry(entry, str(tmp_path))
+        b = write_entry(entry, str(tmp_path))
+        assert a == b
+        assert [p for p, _e in load_corpus(str(tmp_path))] == [a]
+
+    def test_provenance_outside_identity(self):
+        entry = find_entry(BUG_SC)
+        tagged = CorpusEntry(name=entry.name,
+                             failure_kind=entry.failure_kind,
+                             scenario=entry.scenario,
+                             decisions=entry.decisions, digest=entry.digest,
+                             detail=entry.detail,
+                             provenance=(("fleet_seed", 7),))
+        assert tagged.entry_digest() == entry.entry_digest()
+
+    def test_unknown_schema_rejected(self):
+        entry = find_entry(BUG_SC)
+        payload = json.loads(entry_json(entry))
+        payload["schema"] = "alock-corpus/999"
+        with pytest.raises(ConfigError):
+            entry_from_payload(payload)
+
+    def test_missing_corpus_dir_is_empty(self, tmp_path):
+        assert load_corpus(str(tmp_path / "nope")) == []
+
+
+class TestReplayDrift:
+    """The ReplayPolicy-level staleness signal."""
+
+    def test_faithful_replay_has_no_drift(self):
+        recorded = explore_random(BUG_SC, 50, seed=1,
+                                  stop_on_failure=True).first_failure
+        policy = ReplayPolicy(recorded.decisions)
+        run_schedule(BUG_SC, policy)
+        assert policy.drift() == []
+        assert policy.clamped == []
+
+    def test_unreached_decisions_reported(self):
+        policy = ReplayPolicy({10_000: 1})
+        run_schedule(BUG_SC, policy)
+        problems = policy.drift()
+        assert any("before recorded decision" in p for p in problems)
+        assert "10000:1" in " ".join(problems)
+
+    def test_clamped_picks_reported(self):
+        policy = ReplayPolicy({0: 99})
+        run_schedule(BUG_SC, policy)
+        assert policy.clamped and policy.clamped[0][0] == 0
+        assert any("clamped" in p for p in policy.drift())
+
+
+class TestStrictReplay:
+    def test_strict_flags_unreached_decisions_as_stale(self):
+        result = replay(BUG_SC, {10_000: 1}, strict=True)
+        assert not result.ok
+        assert result.failure_kind == "stale"
+        assert "stale corpus entry" in result.detail
+        assert "re-find and re-shrink" in result.detail
+
+    def test_strict_flags_clamped_picks_as_stale(self):
+        result = replay(BUG_SC, {0: 99}, strict=True)
+        assert result.failure_kind == "stale"
+
+    def test_non_strict_stays_forgiving(self):
+        assert replay(BUG_SC, {10_000: 1}).failure_kind != "stale"
+
+
+class TestCheckEntry:
+    def test_real_entry_reproduces(self):
+        entry = find_entry(BUG_SC)
+        status, result = check_entry(entry)
+        assert status == "reproduced"
+        assert result.digest == entry.digest
+
+    def test_stale_entry_detected(self):
+        entry = find_entry(BUG_SC)
+        stale = CorpusEntry(name=entry.name, failure_kind=entry.failure_kind,
+                            scenario=entry.scenario, decisions="10000:1",
+                            digest=entry.digest)
+        status, result = check_entry(stale)
+        assert status == "stale"
+        assert result.failure_kind == "stale"
+
+    def test_digest_drift_is_a_mismatch(self):
+        entry = find_entry(BUG_SC)
+        tampered = CorpusEntry(name=entry.name,
+                               failure_kind=entry.failure_kind,
+                               scenario=entry.scenario,
+                               decisions=entry.decisions,
+                               digest="0" * len(entry.digest))
+        status, _result = check_entry(tampered)
+        assert status == "mismatch"
+
+    def test_fixed_code_passes(self):
+        # same recording, bug switched off: the defect was the failure
+        from repro.schedcheck.fleet import correct_twin
+
+        entry = find_entry(BUG_SC)
+        fixed = CorpusEntry(name=entry.name, failure_kind=entry.failure_kind,
+                            scenario=correct_twin(entry.scenario),
+                            decisions=entry.decisions, digest=entry.digest)
+        status, result = check_entry(fixed)
+        assert status == "passed"
+        assert result.ok

@@ -1,0 +1,132 @@
+"""Interleaving-prefix coverage: unit behaviour and steering quality.
+
+The second half is the mutation-test of the coverage signal itself: on
+the hardened seeded bugs (client staggers thin the time-0 tie cluster,
+so random stops tripping over the defects immediately) both pure-random
+and novelty-steered fleets must still find every bug within the
+documented budget.  CI gates on *found at all*; the random-vs-steered
+median comparison (where steering must win on at least 2 of 3) is
+recorded informationally by ``scripts/schedcheck_quality.py`` into
+``benchmarks/baselines/QUALITY_schedcheck.json``.
+"""
+
+import pytest
+
+from repro.schedcheck.coverage import (
+    DEFAULT_DEPTH,
+    CoverageMap,
+    MutationCandidate,
+    iter_prefix_hashes,
+    prefix_hash,
+)
+from repro.schedcheck.fleet import HARDENED_BUGS, first_find
+
+HARD_IDS = [name for name, _sc, _n in HARDENED_BUGS]
+
+
+class TestPrefixHashes:
+    def test_incremental_matches_full(self):
+        dense, fanouts = (1, 0, 2, 1), (3, 2, 4, 2)
+        hashes = list(iter_prefix_hashes(dense, fanouts))
+        assert len(hashes) == 4
+        for k, h in enumerate(hashes):
+            assert h == prefix_hash(dense[:k + 1], fanouts[:k + 1])
+
+    def test_prefixes_are_distinct_and_order_sensitive(self):
+        a = prefix_hash((0, 1), (2, 2))
+        b = prefix_hash((1, 0), (2, 2))
+        assert a != b
+        # fanout is part of the identity: same picks, different tree
+        assert prefix_hash((0,), (2,)) != prefix_hash((0,), (3,))
+
+    def test_depth_cap(self):
+        dense = tuple(range(100))
+        fanouts = tuple(101 for _ in dense)
+        assert len(list(iter_prefix_hashes(dense, fanouts))) == DEFAULT_DEPTH
+        assert len(list(iter_prefix_hashes(dense, fanouts, depth=7))) == 7
+
+
+class TestCoverageMap:
+    def test_observe_reports_novel_points_once(self):
+        cov = CoverageMap()
+        novel = cov.observe((0, 1, 0), (2, 2, 2))
+        assert novel == (0, 1, 2)
+        # the same run again: nothing new
+        assert cov.observe((0, 1, 0), (2, 2, 2)) == ()
+        # shared prefix, divergent tail: only the divergence is novel
+        assert cov.observe((0, 1, 1), (2, 2, 2)) == (2,)
+        assert cov.runs_observed == 3
+        assert cov.novel_runs == 2
+        assert cov.prefixes_seen == 4
+
+    def test_breed_generates_unseen_siblings(self):
+        cov = CoverageMap()
+        novel = cov.observe((1, 0), (3, 2))
+        added = cov.breed((1, 0), (3, 2), novel)
+        # point 0 has fanout 3 -> siblings 0 and 2; point 1 fanout 2 ->
+        # sibling (1, 1)
+        assert added == 3
+        cov.rerank()
+        taken = cov.take(3)
+        assert [c.prefix for c in taken] == [(0,), (2,), (1, 1)]
+        assert all(isinstance(c, MutationCandidate) for c in taken)
+        # issued candidates leave the pool
+        assert cov.pool_size == 0
+        assert cov.candidates_issued == 3
+
+    def test_breed_dedups_against_seen_and_queued(self):
+        cov = CoverageMap()
+        novel = cov.observe((0,), (2,))
+        assert cov.breed((0,), (2,), novel) == 1      # sibling (1,)
+        assert cov.breed((0,), (2,), novel) == 0      # already queued
+        cov.observe((1,), (2,))                       # sibling executed
+        cov2 = CoverageMap()
+        n2 = cov2.observe((0,), (2,))
+        cov2.observe((1,), (2,))
+        assert cov2.breed((0,), (2,), n2) == 0        # already seen
+
+    def test_rerank_prefers_high_novelty_then_order(self):
+        cov = CoverageMap()
+        # low-novelty source first (1 novel point), then a richer one
+        cov.breed((0,), (2,), (0,))
+        cov.breed((0, 0, 1), (2, 3, 2), (1, 2))
+        cov._seen.update(h for h in iter_prefix_hashes((0,), (2,)))
+        cov.rerank()
+        weights = [c.weight for c in cov._pool]
+        assert weights == sorted(weights, reverse=True)
+
+    def test_pool_caps(self):
+        cov = CoverageMap(pool_high=4, pool_low=2)
+        dense = tuple(0 for _ in range(10))
+        fanouts = tuple(9 for _ in range(10))
+        novel = cov.observe(dense, fanouts)
+        assert cov.breed(dense, fanouts, novel) == 4   # stops at pool_high
+        cov.rerank()
+        assert cov.pool_size == 2                      # clipped to pool_low
+        # clipped candidates free their queued-hash slots for later breeding
+        assert cov.breed(dense, fanouts, novel) == 2
+
+    def test_summary_is_primitive_counts(self):
+        cov = CoverageMap()
+        cov.observe((0,), (2,))
+        s = cov.summary()
+        assert s["prefixes_seen"] == 1
+        assert s["runs_observed"] == 1
+        assert all(isinstance(v, int) for v in s.values())
+
+
+@pytest.mark.parametrize("name,scenario,budget", HARDENED_BUGS, ids=HARD_IDS)
+class TestSteeringQuality:
+    """Both steering modes must find every hardened bug within budget —
+    the found-at-all CI gate behind the quality medians."""
+
+    def test_steered_finds_it_within_budget(self, name, scenario, budget):
+        found = first_find(scenario, budget, seed=0, coverage=True)
+        assert found is not None, (
+            f"novelty-steered fleet missed {name} in {budget} schedules")
+
+    def test_random_baseline_finds_it_within_budget(self, name, scenario,
+                                                    budget):
+        found = first_find(scenario, budget, seed=0, coverage=False)
+        assert found is not None, (
+            f"random baseline missed {name} in {budget} schedules")

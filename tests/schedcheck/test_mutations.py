@@ -23,48 +23,19 @@ import pytest
 from repro.common.errors import ConfigError
 from repro.locks import make_lock
 from repro.schedcheck import (
-    LockScenario,
     explore_random,
     replay,
     run_schedule,
     shrink_failure,
 )
+# The bug table and its budgets are the documented reproduction
+# constants; they live in the fleet module (single source for this
+# suite, the CI fleet gate and the quality baselines).
+from repro.schedcheck.fleet import SEEDED_BUGS, correct_twin
 
-# (name, scenario, exploration budget): each found by explore_random
-# with seed=1 within the stated number of random-walk schedules.
-SEEDED_BUGS = [
-    (
-        "no_victim_check",
-        LockScenario(lock_kind="alock", n_nodes=2, threads_per_node=2,
-                     ops_per_thread=2, think_ns=200.0, seed=0,
-                     lock_options=(("bug", "no_victim_check"),)),
-        50,
-    ),
-    (
-        "skip_budget_wait",
-        LockScenario(lock_kind="alock", n_nodes=1, threads_per_node=2,
-                     ops_per_thread=4, think_ns=100.0, seed=2,
-                     lock_options=(("bug", "skip_budget_wait"),)),
-        50,
-    ),
-    (
-        "lost_wakeup",
-        LockScenario(lock_kind="mcs", n_nodes=1, threads_per_node=3,
-                     ops_per_thread=3, seed=0,
-                     lock_options=(("bug", "lost_wakeup"),
-                                   ("poll_interval_ns", 200.0))),
-        50,
-    ),
-]
 EXPLORE_SEED = 1
 
 BUG_IDS = [name for name, _sc, _n in SEEDED_BUGS]
-
-
-def correct_twin(scenario: LockScenario) -> LockScenario:
-    """The same scenario with the seeded bug switched off."""
-    options = tuple((k, v) for k, v in scenario.lock_options if k != "bug")
-    return LockScenario(**{**scenario.__dict__, "lock_options": options})
 
 
 @pytest.mark.parametrize("name,scenario,budget", SEEDED_BUGS, ids=BUG_IDS)
