@@ -45,7 +45,7 @@ from repro.cluster import Cluster
 from repro.locks import make_lock
 from repro.memory import MemoryRegion
 from repro.obs import ObsConfig
-from repro.sim import Environment, Resource
+from repro.sim import Environment, Resource, core_info
 from repro.workload.runner import run_workload
 from repro.workload.spec import WorkloadSpec
 
@@ -149,6 +149,41 @@ def obs_overhead_run() -> int:
     return result.measured_ops
 
 
+def engine_dense_ticks() -> int:
+    """Calendar-queue best case: wide same-tick fan-in.
+
+    200 processes all sleep to the *same* future tick, 20 rounds — each
+    tick pops as one 200-entry batch, so the per-event queue cost is a
+    slice of a sorted bucket rather than 200 heap sift-downs.
+    """
+    env = Environment()
+
+    def proc():
+        for round_no in range(1, 21):
+            yield env.timeout(round_no * 1000 - env.now)
+
+    for _ in range(200):
+        env.process(proc())
+    env.run()
+    return env.event_count
+
+
+def engine_sparse_timers() -> int:
+    """Calendar-queue adversarial case: one outstanding timer per
+    process, staggered so no two events ever share a tick.  Exercises
+    the singleton-bucket run loop and the bucket-shell re-arm path."""
+    env = Environment()
+
+    def proc(offset: int):
+        for _ in range(40):
+            yield env.timeout(97 + offset)
+
+    for i in range(100):
+        env.process(proc(i))
+    env.run()
+    return env.event_count
+
+
 def single_cell() -> int:
     spec = WorkloadSpec(
         n_nodes=5, threads_per_node=4, n_locks=100, locality_pct=90.0,
@@ -227,6 +262,8 @@ SCENARIOS = {
     "resource_contention": resource_contention,
     "watcher_chain": watcher_chain,
     "verb_round_trips": verb_round_trips,
+    "engine_dense_ticks": engine_dense_ticks,
+    "engine_sparse_timers": engine_sparse_timers,
     "alock_local_cycle": alock_local_cycle,
     "alock_remote_cycle": alock_remote_cycle,
     "mcs_local_cycle": mcs_local_cycle,
@@ -265,6 +302,9 @@ def run_suite(repeats: int, only=None) -> dict:
             "platform": platform.platform(),
             "python": platform.python_version(),
         },
+        # which event core served this run (pure vs compiled legs must
+        # never be compared against each other's baselines)
+        "core": core_info(),
         "benchmarks": results,
     }
     if only is None or "flight_overhead" in only:

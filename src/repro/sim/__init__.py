@@ -21,12 +21,14 @@ Public surface:
 from repro.sim.core import (
     AllOf,
     AnyOf,
+    CORE_KIND,
     Environment,
     Event,
     Interrupt,
     PENDING,
     Process,
     Timeout,
+    core_info,
 )
 from repro.sim.resources import Resource, Store
 
@@ -41,4 +43,6 @@ __all__ = [
     "PENDING",
     "Resource",
     "Store",
+    "CORE_KIND",
+    "core_info",
 ]

@@ -1,0 +1,81 @@
+"""Pieces of the event core shared by every engine implementation.
+
+The simulator ships two interchangeable event cores — the pure-Python
+reference engine (:mod:`repro.sim._engine`) and the optional compiled
+C extension (:mod:`repro.sim._ccore`, wrapped by
+:mod:`repro.sim._compiled`).  Anything whose *object identity* crosses
+the engine boundary must live here, exactly once:
+
+* :data:`PENDING` — client code tests ``ev._value is PENDING``; both
+  engines must hand out the very same sentinel object.
+* :class:`Interrupt` — scenario code catches it; an ``isinstance``
+  check must succeed regardless of which engine threw it.
+* :class:`FlightLike` — the structural type of the flight-recorder
+  hook, referenced by both engines' policy steps.
+* :func:`_describe_wait` — the deadlock-diagnostic formatter, a pure
+  function of an event's ``info`` label.
+
+This module must stay dependency-free (stdlib + ``repro.common`` only)
+so the C extension can import it during its own module init without
+creating a cycle through :mod:`repro.sim.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Protocol
+
+
+class FlightLike(Protocol):
+    """Sink for flight-recorder notes (see :mod:`repro.obs.flight`).
+
+    The engine stays ignorant of the recorder's implementation; it only
+    needs somewhere to note schedule tie-breaks, which exist solely on
+    the policy path, so the default dispatch loop never pays for it.
+    """
+
+    def note(self, actor: str, kind: str, *detail: object) -> None: ...
+
+
+class _Pending:
+    """Sentinel for an event value that has not been produced yet."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<PENDING>"
+
+
+PENDING = _Pending()
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` is whatever the interrupter passed — by convention a
+    short string or the interrupting object.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class _WaitInfoLike(Protocol):
+    """The slice of the Event surface :func:`_describe_wait` touches —
+    structural so it accepts events from either engine."""
+
+    info: Optional[tuple]
+
+
+def _describe_wait(event: Optional[_WaitInfoLike]) -> str:
+    """Human-readable description of what a parked process waits on,
+    using :attr:`Event.info` labels when the issuer set one."""
+    if event is None:
+        return "nothing (never parked or mid-interrupt)"
+    if event.info is not None:
+        kind, *detail = event.info
+        return f"{kind}({', '.join(str(d) for d in detail)})"
+    return type(event).__name__
+
+
+__all__ = ["PENDING", "Interrupt", "FlightLike", "_describe_wait"]

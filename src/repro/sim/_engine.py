@@ -1,0 +1,1114 @@
+"""Pure-Python event core: calendar-queue scheduler, events, processes.
+
+Time is a float in **nanoseconds** throughout the library; the RDMA cost
+model (microseconds-scale verbs, ~100 ns local ops) fits naturally and
+the paper's latency plots are in nanoseconds.
+
+This module is the reference implementation of the engine contract.  An
+optional compiled twin (:mod:`repro.sim._ccore`, built from C source)
+implements the same contract; :mod:`repro.sim.core` picks one at import
+time via ``ALOCK_SIM_CORE``.  Behavioural changes MUST land here first —
+the compiled core is checked against this module event-for-event by
+``tests/sim/test_core_equivalence.py``.
+
+Scheduler design
+----------------
+
+The heapq scheduler of PRs 0–9 paid an O(log n) comparison chain per
+event.  This engine splits the schedule three ways, exploiting how the
+simulator actually produces events:
+
+* ``_nowq`` — a plain append-only list for delay-0 schedules.  Every
+  resource grant, watcher wakeup, process boot/completion/interrupt and
+  echo is scheduled at the *current* time, so the dominant event class
+  needs no priority structure at all: append order **is** ``(time,
+  seq)`` order.
+* ``_batch`` — the events extracted from the calendar at the current
+  minimum time, dispatched FIFO.  Extracting a whole same-tick batch at
+  once (rather than one pop per event) is what lets the schedule-policy
+  hook see the full ready set for free.
+* :class:`CalendarQueue` — strictly-future entries (``delay > 0``,
+  i.e. timeouts).  Brown-style calendar: events hash into fixed-width
+  time buckets (a dict keyed by ``int(t / width)``), a lazy min-heap of
+  occupied bucket indices stands in for the ladder — far-future
+  timeouts just sit in high-index buckets and cost nothing until the
+  clock approaches them.  Bucket width auto-tunes from observed
+  inter-batch deltas and from bucket-overflow spills.
+
+Ordering invariants (why this reproduces heapq order exactly):
+
+1. Every entry keeps its ``(time, seq, event)`` triple; ``seq`` is the
+   same global insertion counter as before.
+2. An entry can only land in the calendar with ``time > now``; by the
+   time the clock reaches ``time`` it is extracted into ``_batch``.
+   Hence every calendar-born entry at time *t* has a smaller ``seq``
+   than every ``_nowq`` entry appended while ``now == t`` — so
+   *batch-then-nowq* is ascending ``seq``, which is exactly the heap's
+   pop order for equal times.
+3. The clock only advances when both ``_batch`` and ``_nowq`` are
+   drained, so ``_nowq`` never holds entries from a stale time.
+
+Negative delays would violate invariant 2 (a past bucket can no longer
+be reached), so :meth:`Environment.schedule` rejects them with
+:class:`~repro.common.errors.ConfigError` — the heap merely masked
+them by re-sorting.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from heapq import heappop, heappush
+from typing import Any, Callable, Generator, Iterable, Optional, Protocol
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.sim._base import PENDING, FlightLike, Interrupt, _describe_wait
+
+__all__ = [
+    "PENDING", "Interrupt", "FlightLike", "_describe_wait",
+    "Event", "Timeout", "Process", "AnyOf", "AllOf",
+    "Environment", "CalendarQueue",
+]
+
+_INF = float("inf")
+
+#: Entries at or past this time (2**1023 ns — effectively "never") skip
+#: the bucket math entirely: ``int(t / width)`` on near-inf floats makes
+#: absurd indices, and ``inf`` has none.  They live on the ladder's top
+#: rung (``_far``) and are only scanned when every bucket has drained.
+_FAR_TIME = 8.98846567431158e307
+
+
+class CalendarQueue:
+    """Calendar queue over ``(time, seq, event)`` triples.
+
+    Classic Brown-style shape: entries hash into fixed-width time
+    buckets, and each bucket is kept **sorted** by ``(time, seq)`` via
+    :func:`bisect.insort` (``seq`` is globally unique, so comparisons
+    never reach the event).  That makes the bucket head the bucket
+    minimum, batch extraction a prefix slice, and :meth:`min_time` O(1).
+    A lazy min-heap of occupied bucket indices stands in for the ladder:
+    far-future timeouts sit in high-index buckets and cost nothing until
+    the clock approaches them.
+
+    Not a general priority queue: it exploits that the engine (a) always
+    extracts *all* entries at the minimum time at once and (b) never
+    inserts at or before the last extracted time (the engine routes
+    delay-0 work around the calendar).
+    """
+
+    __slots__ = (
+        "_buckets", "_order", "_width", "_inv_width", "_len", "_far",
+        "_pop_count", "_window_t",
+    )
+
+    #: pops between width re-evaluations (windowed inter-batch gap)
+    GAP_WINDOW = 256
+    #: a bucket growing past this many entries triggers an immediate
+    #: width shrink — insort's memmove and the prefix scans degrade
+    #: toward O(bucket) once a single bucket swallows the schedule
+    SPILL_LIMIT = 512
+    MIN_WIDTH = 1e-3
+    MAX_WIDTH = 65536.0
+
+    def __init__(self, width: float = 128.0):
+        if not width > 0.0:
+            raise ConfigError(f"calendar bucket width must be positive, got {width!r}")
+        # keys are floor(t / width); ints and whole floats mix freely
+        # (1 == 1.0 as dict keys and in heap order) — the hot push path
+        # produces floats via floor-division, cold paths produce ints
+        self._buckets: dict[float, list[tuple[float, int, Event]]] = {}
+        # lazy min-heap of occupied bucket indices; for t >= 0, bucket
+        # index is monotone in t, so the min index holds the min time
+        self._order: list[float] = []
+        self._width = width
+        self._inv_width = 1.0 / width
+        self._len = 0
+        self._far: list[tuple[float, int, Event]] = []
+        # auto-tuning state: batch-pop counter + the batch time at the
+        # last window boundary (gap averaging without per-pop arithmetic)
+        self._pop_count = 0
+        self._window_t: Optional[float] = None
+
+    def __len__(self) -> int:
+        return self._len
+
+    @property
+    def width(self) -> float:
+        """Current bucket width in nanoseconds (auto-tuned)."""
+        return self._width
+
+    def push(self, time: float, seq: int, event: Event) -> None:
+        if time >= _FAR_TIME:
+            self._far.append((time, seq, event))
+            self._len += 1
+            return
+        idx = int(time * self._inv_width)
+        bucket = self._buckets.get(idx)
+        if bucket is None:
+            self._buckets[idx] = [(time, seq, event)]
+            heappush(self._order, idx)
+        elif not bucket:
+            # drained bucket left in place (see pop_batch): its index is
+            # still on the order heap, so this re-arm costs one append
+            bucket.append((time, seq, event))
+        else:
+            insort(bucket, (time, seq, event))
+            if len(bucket) > self.SPILL_LIMIT:
+                self._shrink_for(bucket)
+        self._len += 1
+
+    def min_time(self) -> float:
+        """Earliest entry time, or +inf when empty.  O(1) amortized: the
+        min bucket is sorted, so its head is the global minimum."""
+        order = self._order
+        buckets = self._buckets
+        while order:
+            bucket = buckets.get(order[0])
+            if bucket:
+                return bucket[0][0]
+            del buckets[order[0]]
+            heappop(order)
+        far = self._far
+        if far:
+            t = far[0][0]
+            for entry in far:
+                if entry[0] < t:
+                    t = entry[0]
+            return t
+        return _INF
+
+    def pop_batch(self) -> tuple[float, list[tuple[float, int, Event]]]:
+        """Remove and return ``(t, entries)`` — every entry at the
+        minimum time *t*, in ascending ``seq`` order (the sorted
+        bucket's equal-time prefix).
+
+        A bucket drained by a pop is deliberately left behind (empty)
+        in both the dict and the order heap: the next push into the
+        same time range re-arms it with a plain append, and the stale
+        shell is discarded only when it resurfaces at the heap top.
+        That removes the create/delete churn of workloads with one
+        outstanding timeout per process — the dominant sim shape.
+        """
+        order = self._order
+        buckets = self._buckets
+        while order:
+            idx = order[0]
+            bucket = buckets[idx]
+            if not bucket:
+                del buckets[idx]
+                heappop(order)
+                continue
+            t = bucket[0][0]
+            n = len(bucket)
+            m = 1
+            while m < n and bucket[m][0] == t:
+                m += 1
+            batch = bucket[:m]
+            del bucket[:m]
+            self._len -= m
+            self._pop_count += 1
+            if self._pop_count >= self.GAP_WINDOW:
+                self._window_retune(t)
+            return (t, batch)
+        far = self._far
+        if far:
+            t = far[0][0]
+            for entry in far:
+                if entry[0] < t:
+                    t = entry[0]
+            batch = sorted(
+                (entry for entry in far if entry[0] == t), key=_entry_key)
+            if len(batch) == len(far):
+                self._far = []
+            else:
+                self._far = [entry for entry in far if entry[0] != t]
+            self._len -= len(batch)
+            return (t, batch)
+        raise SimulationError("pop_batch() on an empty calendar")
+
+    # -- width auto-tuning --------------------------------------------
+    def _window_retune(self, t: float) -> None:
+        """Every GAP_WINDOW batch pops, derive the average inter-batch
+        gap from the window's start/end times (no per-pop arithmetic)
+        and re-bucket when the width has drifted 2x from its target."""
+        last = self._window_t
+        self._window_t = t
+        self._pop_count = 0
+        if last is None or not t > last:
+            return
+        avg_gap = (t - last) / self.GAP_WINDOW
+        # target ~8 batch times per bucket: sorted buckets keep both
+        # insert (binary search + memmove) and extract (prefix slice)
+        # cheap at that size, and the order-heap traffic drops 8x
+        target = min(max(avg_gap * 8.0, self.MIN_WIDTH), self.MAX_WIDTH)
+        if target < self._width * 0.5 or target > self._width * 2.0:
+            self._rebuild(target)
+
+    def _shrink_for(self, crowded: list[tuple[float, int, Event]]) -> None:
+        """Emergency shrink: one (sorted) bucket grew past SPILL_LIMIT,
+        so the width is too coarse for the cluster it covers."""
+        span = crowded[-1][0] - crowded[0][0]
+        if span <= 0.0:
+            return  # one giant same-tick burst; width is not the issue
+        target = max(span / 8.0, self.MIN_WIDTH)
+        if target < self._width * 0.5:
+            self._rebuild(target)
+
+    def _rebuild(self, width: float) -> None:
+        """Re-bucket everything at the new width, **in place**: the hot
+        loops hold local aliases of ``_buckets``/``_order``, so both
+        containers must keep their identity across a rebuild."""
+        buckets = self._buckets
+        order = self._order
+        entries = [entry for bucket in buckets.values() for entry in bucket]
+        # empty every old bucket list before dropping it: the drain loop
+        # may hold an alias of the current minimum bucket across a
+        # dispatch, and a stale non-empty alias would resurrect entries
+        # that were just re-bucketed
+        for bucket in buckets.values():
+            del bucket[:]
+        # re-bucket in (time, seq) order so each new bucket's insertion
+        # order is again ascending seq within equal times
+        entries.sort(key=_entry_key)
+        self._width = width
+        inv = self._inv_width = 1.0 / width
+        buckets.clear()
+        del order[:]
+        for entry in entries:
+            idx = int(entry[0] * inv)
+            bucket = buckets.get(idx)
+            if bucket is None:
+                buckets[idx] = [entry]
+                heappush(order, idx)
+            else:
+                bucket.append(entry)
+
+
+def _entry_key(entry: tuple[float, int, "Event"]) -> tuple[float, int]:
+    return (entry[0], entry[1])
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Lifecycle: *pending* → *triggered* (succeed/fail) → *processed*
+    (callbacks ran).  Waiting on an already-processed event resumes the
+    waiter immediately (scheduled at the current time, preserving the
+    global event order).
+
+    ``info`` is an optional ``(kind, detail)`` label set by whoever hands
+    the event out (resources, stores, memory watchers).  It feeds the
+    deadlock diagnostics only — never simulation state.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "info")
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[[Event], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._scheduled = False
+        self.info: Optional[tuple] = None
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (succeeded or failed)."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -----------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if self._scheduled:
+            raise SimulationError(f"{self!r} scheduled twice")
+        self._value = value
+        self._ok = True
+        # Inlined ``env._schedule(self)`` — succeed() fires once per
+        # resource grant / watcher wakeup, squarely on the hot path.
+        # Delay-0 ⇒ the now-queue; append order is (time, seq) order.
+        env = self.env
+        self._scheduled = True
+        env._seq = seq = env._seq + 1
+        env._nowq.append((env._now, seq, self))
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception; waiters will have it
+        raised at their ``yield``."""
+        if self._value is not PENDING:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        self._value = exception
+        self._ok = False
+        self.env._schedule(self)
+        return self
+
+    def _add_callback(self, fn: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: deliver asynchronously at current time to
+            # keep the "resume happens via the loop" invariant.
+            self.env._schedule(_Echo(self.env, self, fn))
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        # The address is debug output only — never feeds sim state or seeds.
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"  # simlint: ignore[nondet-source]
+
+
+class _Echo(Event):
+    """Internal: re-delivers an already-processed event to a late waiter."""
+
+    __slots__ = ("_target", "_fn")
+
+    def __init__(self, env: "Environment", target: Event, fn: Callable[[Event], None]):
+        super().__init__(env)
+        self._target = target
+        self._fn = fn
+        self._value = None  # pre-triggered
+
+    def _process(self) -> None:
+        self.callbacks = None
+        self._fn(self._target)
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` nanoseconds after creation.
+
+    The value is held aside until the scheduler pops the timeout, so
+    :attr:`triggered` stays False until the delay actually elapses.
+    """
+
+    __slots__ = ("delay", "_pending_value")
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        # Flattened Event.__init__ + env._schedule: timeouts are the most
+        # frequently created event by an order of magnitude, and the two
+        # extra frames per construction are measurable in every benchmark.
+        self.env = env
+        self.callbacks = []
+        self._value = PENDING
+        self._ok = True
+        self._scheduled = True
+        self.info = None
+        self.delay = delay
+        self._pending_value = value
+        env._seq = seq = env._seq + 1
+        # Route on the *computed* time, not the delay: a positive delay
+        # small enough to underflow (now + delay == now) must join the
+        # now-queue, where seq order — the heap's tie-break for equal
+        # times — is the append order.  The calendar push is inlined
+        # (cf. the flattened init above): timeouts are the only event
+        # class that ever touches the calendar, and by an order of
+        # magnitude the most frequently created.
+        now = env._now
+        t = now + delay
+        if t > now:
+            cal = env._cal
+            if t < _FAR_TIME:
+                # float floor-div is ~20ns cheaper than int() here, and
+                # 1.0 == 1 hash-compare equal as dict keys, so mixing
+                # float keys (hot path) with int keys (cold paths) is
+                # safe
+                idx = t * cal._inv_width // 1.0
+                bucket = cal._buckets.get(idx)
+                if bucket:
+                    insort(bucket, (t, seq, self))
+                    if len(bucket) > 512:
+                        cal._shrink_for(bucket)
+                elif bucket is None:
+                    cal._buckets[idx] = [(t, seq, self)]
+                    heappush(cal._order, idx)
+                else:
+                    # drained shell still on the order heap: re-arm free
+                    bucket.append((t, seq, self))
+                cal._len += 1
+            else:
+                cal.push(t, seq, self)
+        else:
+            env._nowq.append((now, seq, self))
+
+
+class Process(Event):
+    """Wraps a generator; the process *is* an event that triggers when the
+    generator returns (value = its ``return`` value) or raises."""
+
+    __slots__ = ("_generator", "_waiting_on", "name", "pid", "last_resumed_at",
+                 "_resume_cb")
+
+    def __init__(self, env: "Environment", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise SimulationError(f"process target must be a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        #: creation-order id — stable identity for schedule policies and
+        #: deadlock reports (never an address).
+        self.pid = env._register_process(self)
+        self.last_resumed_at = env._now
+        # One bound method for the process's whole life: every park and
+        # un-park uses the same object, so ``callbacks.remove`` compares
+        # identically and schedule policies keying on ``cb.__self__``
+        # see a stable owner.  Also saves a method-object allocation per
+        # resume on the hot path.
+        self._resume_cb: Callable[[Event], None] = self._resume
+        # Kick off at the current time.
+        boot = Event(env)
+        boot._value = None
+        boot._ok = True
+        env._schedule(boot)
+        assert boot.callbacks is not None
+        boot.callbacks.append(self._resume_cb)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current yield.
+
+        No-op if the process already finished.
+        """
+        if not self.is_alive:
+            return
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume_cb)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        kick = Event(self.env)
+        kick._value = Interrupt(cause)
+        kick._ok = False
+        self.env._schedule(kick)
+        assert kick.callbacks is not None
+        kick.callbacks.append(self._resume_cb)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        env = self.env
+        self.last_resumed_at = env._now
+        gen = self._generator
+        env._active_process = self
+        try:
+            while True:
+                if event._ok:
+                    target = gen.send(event._value)
+                else:
+                    target = gen.throw(event._value)
+                if not isinstance(target, Event):
+                    raise SimulationError(
+                        f"process {self.name!r} yielded non-event {target!r}")
+                if target._value is PENDING or target.callbacks is not None:
+                    # Pending, or triggered but not yet processed — park and
+                    # let the loop process it so ordering matches schedule
+                    # order.
+                    self._waiting_on = target
+                    target.callbacks.append(self._resume_cb)
+                    return
+                # Already processed: consume its value synchronously.
+                event = target
+        except StopIteration as stop:
+            self._value = stop.value
+            self._ok = True
+            self.env._schedule(self)
+        except Interrupt as intr:
+            # An un-handled interrupt terminates the process with a failure.
+            self._value = intr
+            self._ok = False
+            self.env._schedule(self)
+        except BaseException as exc:
+            self._value = exc
+            self._ok = False
+            self.env._schedule(self)
+            if not isinstance(exc, Exception):  # pragma: no cover - KeyboardInterrupt etc.
+                raise
+        finally:
+            env._active_process = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Process {self.name!r} {'alive' if self.is_alive else 'done'}>"
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf combinators."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._n_done = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("all events in a condition must share an environment")
+            ev._add_callback(self._check)
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self.events if ev.triggered and ev._ok}
+
+
+class AnyOf(_Condition):
+    """Triggers when the first constituent event triggers.
+
+    Value: dict of the triggered events and their values at that moment.
+    A failed constituent fails the condition.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Triggers when every constituent event has triggered."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._n_done += 1
+        if self._n_done == len(self.events):
+            self.succeed(self._collect())
+
+
+class SchedulePolicyLike(Protocol):
+    """Structural type of the same-time tie-break hook (see
+    :mod:`repro.schedcheck`)."""
+
+    def choose(self, ready: list[tuple[float, int, Event]]) -> int: ...
+
+
+class Environment:
+    """The event loop and virtual clock.
+
+    ``run(until=...)`` processes events in ``(time, seq)`` order.  ``seq``
+    is a global insertion counter, so simultaneous events run in the order
+    they were scheduled — fully deterministic.
+
+    A *schedule policy* (see :mod:`repro.schedcheck`) may be installed to
+    override the same-time tie-break: at each step where several events
+    are ready at the minimum time, the policy picks which one runs.  With
+    no policy installed (the default) the dispatch loop is untouched, and
+    the trivial first-ready policy reproduces it decision for decision.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        # three-way schedule: see the module docstring.  _batch/_nowq
+        # consume via a head index (amortized O(1), no list.pop(0)).
+        self._cal = CalendarQueue()
+        self._nowq: list[tuple[float, int, Event]] = []
+        self._now_head = 0
+        self._batch: list[tuple[float, int, Event]] = []
+        self._batch_head = 0
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        self._event_count = 0
+        # schedule-exploration hook (None = historical fast path)
+        self._policy: Optional[SchedulePolicyLike] = None
+        self._sched_log: list[int] = []
+        self._sched_fanout: list[int] = []
+        # flight-recorder hook: only the policy step consults it, so the
+        # no-policy hot loop is untouched (see FlightLike)
+        self.flight: Optional[FlightLike] = None
+        # process registry for deadlock diagnostics / schedule policies
+        self._procs: list[Process] = []
+        self._next_pid = 0
+        self._procs_prune_at = 64
+
+    # -- clock ------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def event_count(self) -> int:
+        """Total events processed so far (for engine benchmarks)."""
+        return self._event_count
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        return self._active_process
+
+    # -- factories ----------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- process registry ---------------------------------------------
+    def _register_process(self, proc: Process) -> int:
+        """Track ``proc`` for diagnostics; returns its creation-order pid.
+        Finished processes are pruned amortized-O(1) so long simulations
+        do not accumulate dead generators."""
+        self._next_pid += 1
+        self._procs.append(proc)
+        if len(self._procs) >= self._procs_prune_at:
+            self._procs = [p for p in self._procs if p.is_alive]
+            self._procs_prune_at = max(64, 2 * len(self._procs) + 1)
+        return self._next_pid
+
+    def alive_processes(self) -> list[Process]:
+        """Processes that have not finished, in creation order."""
+        return [p for p in self._procs if p.is_alive]
+
+    def describe_alive(self, limit: int = 8) -> str:
+        """One-line diagnostic of the still-alive processes — what each is
+        named, when it last ran, and what event it is parked on."""
+        alive = self.alive_processes()
+        if not alive:
+            return "no processes alive"
+        parts = []
+        for p in alive[:limit]:
+            parts.append(f"{p.name} (pid {p.pid}, last resumed at "
+                         f"{p.last_resumed_at:.1f} ns, waiting on "
+                         f"{_describe_wait(p._waiting_on)})")
+        if len(alive) > limit:
+            parts.append(f"... and {len(alive) - limit} more")
+        return "; ".join(parts)
+
+    # -- schedule-exploration hook -------------------------------------
+    def set_schedule_policy(self, policy: Optional[SchedulePolicyLike]) -> None:
+        """Install (or with ``None`` remove) a same-time tie-break policy.
+
+        The policy object needs one method,
+        ``choose(ready: list[tuple[float, int, Event]]) -> int``, called
+        whenever two or more events are ready at the minimum time.
+        ``ready`` is ordered by insertion (ascending ``seq``), so
+        returning 0 reproduces the default schedule exactly.  Every
+        choice is appended to :attr:`schedule_decisions` /
+        :attr:`schedule_fanouts` for replay and shrinking.
+        """
+        self._policy = policy
+
+    @property
+    def schedule_decisions(self) -> list[int]:
+        """Chosen ready-list index per choice point (policy runs only)."""
+        return self._sched_log
+
+    @property
+    def schedule_fanouts(self) -> list[int]:
+        """Number of ready events per choice point (policy runs only)."""
+        return self._sched_fanout
+
+    # -- scheduling ----------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Schedule ``event`` to be processed ``delay`` ns from now.
+
+        Negative delays are a :class:`ConfigError`: the clock never runs
+        backwards, and the calendar queue (unlike the old heap, which
+        silently re-sorted) cannot reach a bucket the clock has passed.
+        """
+        self._schedule(event, delay)
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            raise SimulationError(f"{event!r} scheduled twice")
+        if delay < 0:
+            raise ConfigError(
+                f"schedule() got negative delay {delay!r}; events cannot "
+                f"be scheduled in the past (now={self._now})")
+        event._scheduled = True
+        self._seq = seq = self._seq + 1
+        now = self._now
+        t = now + delay
+        if t > now:
+            self._cal.push(t, seq, event)
+        else:
+            self._nowq.append((now, seq, event))
+
+    def _has_work(self) -> bool:
+        return (self._batch_head < len(self._batch)
+                or self._now_head < len(self._nowq)
+                or len(self._cal) > 0)
+
+    def _pull_batch(self) -> None:
+        """Advance the clock to the calendar's minimum time and extract
+        the whole same-tick batch.  Caller guarantees batch and nowq are
+        consumed and the calendar is non-empty."""
+        if self._batch_head:
+            del self._batch[:]
+            self._batch_head = 0
+        if self._now_head:
+            del self._nowq[:]
+            self._now_head = 0
+        t, entries = self._cal.pop_batch()
+        self._now = t
+        self._batch = entries
+
+    # -- execution ----------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event."""
+        if self._policy is not None:
+            return self._step_policy()
+        batch = self._batch
+        bh = self._batch_head
+        if bh < len(batch):
+            self._batch_head = bh + 1
+            event = batch[bh][2]
+        else:
+            nowq = self._nowq
+            nh = self._now_head
+            if nh < len(nowq):
+                self._now_head = nh + 1
+                event = nowq[nh][2]
+            else:
+                if len(self._cal) == 0:
+                    raise SimulationError("step() on an empty schedule")
+                self._pull_batch()
+                self._batch_head = 1
+                event = self._batch[0][2]
+        self._event_count += 1
+        if isinstance(event, _Echo):
+            event._process()
+            return
+        if isinstance(event, Timeout):
+            event._value = event._pending_value
+            event._ok = True
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for fn in callbacks:
+                fn(event)
+
+    def _step_policy(self) -> None:
+        """One step with a schedule policy: the ready set is the events
+        still pending at the current time — the rest of the calendar
+        batch plus everything appended to the now-queue — in ascending
+        ``seq`` order (batch seqs predate nowq seqs by invariant 2).
+        The policy picks one; the others stay in place, so re-assembly
+        next step is stable, exactly like re-pushing heap entries was.
+        """
+        policy = self._policy
+        assert policy is not None
+        batch = self._batch
+        bh = self._batch_head
+        nowq = self._nowq
+        nh = self._now_head
+        if bh >= len(batch) and nh >= len(nowq):
+            if len(self._cal) == 0:
+                raise SimulationError("step() on an empty schedule")
+            self._pull_batch()
+            batch = self._batch
+            bh = 0
+            nowq = self._nowq
+            nh = 0
+        ready = batch[bh:]
+        if nh < len(nowq):
+            ready += nowq[nh:]
+        n_batch = len(batch) - bh  # ready[:n_batch] came from the batch
+        if len(ready) == 1:
+            chosen = ready[0]
+            if n_batch:
+                self._batch_head = bh + 1
+            else:
+                self._now_head = nh + 1
+        else:
+            idx = policy.choose(ready)
+            if not 0 <= idx < len(ready):
+                raise SimulationError(
+                    f"schedule policy chose index {idx} out of "
+                    f"{len(ready)} ready events")
+            self._sched_log.append(idx)
+            self._sched_fanout.append(len(ready))
+            chosen = ready[idx]
+            fl = self.flight
+            if fl is not None:
+                fl.note("sched", "sched.tiebreak", idx, len(ready))
+            if idx < n_batch:
+                del batch[bh + idx]
+            else:
+                del nowq[nh + idx - n_batch]
+        event = chosen[2]
+        self._event_count += 1
+        if isinstance(event, _Echo):
+            event._process()
+            return
+        if isinstance(event, Timeout):
+            event._value = event._pending_value
+            event._ok = True
+        callbacks = event.callbacks
+        event.callbacks = None
+        if callbacks:
+            for fn in callbacks:
+                fn(event)
+
+    def peek(self) -> float:
+        """Time of the next event, or +inf if none is scheduled."""
+        if (self._batch_head < len(self._batch)
+                or self._now_head < len(self._nowq)):
+            return self._now
+        return self._cal.min_time()
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run until the schedule drains, a deadline passes, or an event fires.
+
+        Args:
+            until: ``None`` → run to exhaustion; a number → run while the
+                next event is at or before that time, then set ``now`` to
+                it; an :class:`Event` → run until it is processed and
+                return its value (raising if it failed).
+        """
+        if until is None:
+            if self._policy is not None:
+                while self._has_work():
+                    self._step_policy()
+            else:
+                self._run_drain(_INF)
+            return None
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._has_work():
+                    raise SimulationError(
+                        "schedule drained before the awaited event "
+                        "triggered (deadlock?); " + self.describe_alive())
+                self.step()
+            if stop._ok:
+                return stop._value
+            raise stop._value
+        deadline = float(until)
+        if deadline < self._now:
+            raise SimulationError(f"run(until={deadline}) is in the past (now={self._now})")
+        if self._policy is not None:
+            while self.peek() <= deadline:
+                self._step_policy()
+        else:
+            self._run_drain(deadline)
+        self._now = deadline
+        return None
+
+    def _run_drain(self, deadline: float) -> None:
+        """The no-policy dispatch loop, inlined from :meth:`step`.
+
+        This is the innermost loop of every benchmark and experiment:
+        dispatching through here instead of per-event ``step()`` calls
+        removes a Python frame plus several attribute loads per event.
+        Semantically identical to ``while has_work: step()`` — same
+        order, same Timeout/_Echo handling, same callback sequence.
+
+        Dispatching a batch entry cannot grow the batch (new events go
+        to the calendar or the now-queue), and the now-queue only grows
+        at its tail, so plain index walks over both are exact.
+
+        The calendar pull is inlined too (locals aliasing the bucket
+        dict and index heap; :meth:`CalendarQueue._rebuild` mutates both
+        in place precisely so these aliases survive a width retune), and
+        singleton buckets — the common shape once the width is tuned —
+        dispatch without ever materializing a batch list.
+        """
+        batch = self._batch
+        bh = self._batch_head
+        nowq = self._nowq
+        nh = self._now_head
+        cal = self._cal
+        buckets = cal._buckets
+        order = cal._order
+        count = self._event_count
+        # calendar counters live in locals for the duration of the drain
+        # and are written back in the finally block: pushes from inside
+        # dispatched callbacks only ever *increment* cal._len, so the
+        # deferred decrement commutes with them
+        popped = 0
+        pops = cal._pop_count
+        try:
+            # normalize consumed prefixes once so the hot checks below
+            # are plain truth tests instead of head-vs-len compares
+            if bh:
+                del batch[:bh]
+                bh = 0
+            if nh:
+                del nowq[:nh]
+                nh = 0
+            while True:
+                if batch:
+                    # dispatch cannot grow the batch (new events go to
+                    # the calendar or the now-queue), so a snapshot-free
+                    # for-walk is exact; bh tracks consumption for the
+                    # finally block in case a callback raises
+                    for entry in batch:
+                        bh += 1
+                        event = entry[2]
+                        count += 1
+                        cls = event.__class__
+                        if cls is Timeout:
+                            event._value = event._pending_value
+                        elif cls is not Event:
+                            if isinstance(event, _Echo):
+                                event._process()
+                                continue
+                            if isinstance(event, Timeout):
+                                event._value = event._pending_value
+                        callbacks = event.callbacks
+                        event.callbacks = None
+                        if callbacks:
+                            for fn in callbacks:
+                                fn(event)
+                    del batch[:]
+                    bh = 0
+                if nowq:
+                    # the now-queue grows at its tail while we walk it,
+                    # so the length must be re-read every iteration
+                    while nh < len(nowq):
+                        event = nowq[nh][2]
+                        nh += 1
+                        count += 1
+                        cls = event.__class__
+                        if cls is Timeout:
+                            event._value = event._pending_value
+                        elif cls is not Event:
+                            if isinstance(event, _Echo):
+                                event._process()
+                                continue
+                            if isinstance(event, Timeout):
+                                event._value = event._pending_value
+                        callbacks = event.callbacks
+                        event.callbacks = None
+                        if callbacks:
+                            for fn in callbacks:
+                                fn(event)
+                    del nowq[:]
+                    nh = 0
+                    continue
+                # -- pull the next same-tick batch from the calendar --
+                if not order:
+                    if not cal._far:
+                        break
+                    t = cal.min_time()  # rare: only far-future timeouts left
+                    if t > deadline:
+                        break
+                    cal._pop_count = pops
+                    t, entries = cal.pop_batch()
+                    pops = cal._pop_count
+                    self._now = t
+                    self._batch = batch = entries
+                    bh = 0
+                    continue
+                idx = order[0]
+                bucket = buckets[idx]
+                if not bucket:
+                    # drained shell that was never re-armed: discard
+                    del buckets[idx]
+                    heappop(order)
+                    continue
+                if pops >= 256:
+                    # width retune happens here, between bucket runs, so
+                    # the run loop below never holds an alias across a
+                    # rebuild; retune timing does not affect pop order
+                    cal._window_retune(bucket[0][0])
+                    pops = 0
+                    continue
+                # -- bucket run: keep dispatching from this bucket while
+                #    each head entry is alone at its timestamp.  Time is
+                #    monotone, so a bucket re-armed by a dispatched
+                #    callback is still the global minimum — no heap peek
+                #    or dict lookup between events.
+                while True:
+                    entry = bucket[0]
+                    t = entry[0]
+                    if t > deadline:
+                        return
+                    n = len(bucket)
+                    if n > 1 and bucket[1][0] == t:
+                        # same-tick cluster: extract the equal-time
+                        # prefix as the next batch
+                        m = 2
+                        while m < n and bucket[m][0] == t:
+                            m += 1
+                        if m == n:
+                            del buckets[idx]
+                            heappop(order)
+                            entries = bucket
+                        else:
+                            entries = bucket[:m]
+                            del bucket[:m]
+                        popped += m
+                        pops += 1
+                        self._now = t
+                        self._batch = batch = entries
+                        bh = 0
+                        break
+                    del bucket[0]
+                    popped += 1
+                    pops += 1
+                    self._now = t
+                    event = entry[2]
+                    count += 1
+                    cls = event.__class__
+                    if cls is Timeout:
+                        event._value = event._pending_value
+                    elif cls is not Event:
+                        if isinstance(event, _Echo):
+                            event._process()
+                            if nowq or not bucket:
+                                break
+                            continue
+                        if isinstance(event, Timeout):
+                            event._value = event._pending_value
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    if callbacks:
+                        for fn in callbacks:
+                            fn(event)
+                    if nowq or not bucket:
+                        break
+        finally:
+            self._event_count = count
+            self._batch_head = bh
+            self._now_head = nh
+            cal._len -= popped
+            cal._pop_count = pops

@@ -1,0 +1,98 @@
+"""Cross-core byte-identity: figure outputs and schedcheck decision
+strings must not depend on which event core serves the process — or on
+``PYTHONHASHSEED``.
+
+Each probe runs in a fresh interpreter (core selection is import-time)
+and prints a digest blob; the blobs are compared as exact strings across
+``pure``/``compiled`` × several hash seeds.  The compiled leg is skipped
+when the extension is not built (CI builds it and separately *fails* on
+fallback — see the compiled-core job).
+
+These are subprocess smokes, so they lean on the "smoke" experiment
+scale; the in-process randomized depth lives in
+``tests/sim/test_core_equivalence.py``.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+try:
+    from repro.sim import _compiled  # noqa: F401 - availability probe
+    HAVE_COMPILED = True
+except ImportError:
+    HAVE_COMPILED = False
+
+CORE_PARAMS = ["pure"] + (["compiled"] if HAVE_COMPILED else [])
+
+FIG_PROBE = """\
+import hashlib, json
+from repro.sim import core_info
+from repro.experiments import run_experiment
+assert core_info()["kind"] == {kind!r}, core_info()
+for exp in ("fig5", "fig6"):
+    r = run_experiment(exp, scale="smoke")
+    digest = hashlib.blake2b(
+        json.dumps(r.rows, sort_keys=True).encode(), digest_size=16).hexdigest()
+    print(exp, digest)
+"""
+
+SCHED_PROBE = """\
+from repro.sim import core_info
+from repro.schedcheck.explore import explore_random, run_schedule
+from repro.schedcheck.policies import PctPolicy, RandomWalkPolicy
+from repro.schedcheck.scenario import LockScenario
+assert core_info()["kind"] == {kind!r}, core_info()
+sc = LockScenario(lock_kind="alock", n_nodes=2, threads_per_node=2,
+                  n_locks=1, ops_per_thread=3, seed=7)
+print("default", run_schedule(sc, None).digest)
+rep = explore_random(sc, 6, seed=3)
+print("random6", rep.distinct_executions,
+      [[f.failure_kind, f.decisions.to_string()] for f in rep.failures])
+r = run_schedule(sc, RandomWalkPolicy(42))
+print("rw42", r.digest, list(r.dense), list(r.fanouts))
+r = run_schedule(sc, PctPolicy(7, change_points=3))
+print("pct7", r.digest, list(r.dense), list(r.fanouts))
+"""
+
+
+def _run_probe(template: str, kind: str, hashseed: str) -> str:
+    env = dict(
+        os.environ,
+        PYTHONPATH=os.path.join(REPO, "src"),
+        ALOCK_SIM_CORE=kind,
+        PYTHONHASHSEED=hashseed,
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", template.format(kind=kind)],
+        env=env, capture_output=True, text=True, timeout=600)
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestFigureIdentity:
+    @pytest.mark.skipif(not HAVE_COMPILED, reason="compiled core not built")
+    def test_fig5_fig6_identical_across_cores(self):
+        assert _run_probe(FIG_PROBE, "pure", "0") \
+            == _run_probe(FIG_PROBE, "compiled", "0")
+
+    @pytest.mark.parametrize("kind", CORE_PARAMS)
+    def test_fig_digests_hashseed_invariant(self, kind):
+        assert _run_probe(FIG_PROBE, kind, "1") \
+            == _run_probe(FIG_PROBE, kind, "31337")
+
+
+class TestSchedcheckIdentity:
+    @pytest.mark.skipif(not HAVE_COMPILED, reason="compiled core not built")
+    def test_decision_strings_identical_across_cores(self):
+        assert _run_probe(SCHED_PROBE, "pure", "0") \
+            == _run_probe(SCHED_PROBE, "compiled", "0")
+
+    @pytest.mark.parametrize("kind", CORE_PARAMS)
+    def test_decision_strings_hashseed_invariant(self, kind):
+        assert _run_probe(SCHED_PROBE, kind, "2") \
+            == _run_probe(SCHED_PROBE, kind, "424242")

@@ -183,6 +183,46 @@ class TestProcessBoundaryRule:
         assert "repro.parallel" in DEFAULT_SENSITIVE_PACKAGES
 
 
+class TestEngineChokepointRule:
+    MODULE = "repro.sim.fixture"
+
+    def findings(self, module=MODULE):
+        return [f for f in lint_file(FIXTURES / "engine_choke.py",
+                                     module=module)
+                if f.rule == "engine-chokepoint"]
+
+    def test_fires_on_every_hazard_class(self):
+        messages = " | ".join(f.message for f in self.findings())
+        assert "'heapq' import outside the engine chokepoint" in messages
+        assert "'bisect' import outside the engine chokepoint" in messages
+        assert "pins an event core" in messages or \
+            "pins a core" in messages
+        assert len(self.findings()) == 6
+
+    def test_selector_imports_are_fine(self):
+        lines = {f.line for f in self.findings()}
+        src = (FIXTURES / "engine_choke.py").read_text().splitlines()
+        fine_start = next(i for i, line in enumerate(src, start=1)
+                          if "fine --" in line)
+        assert not {ln for ln in lines if ln > fine_start}
+
+    def test_engine_modules_may_import_scheduler_structures(self):
+        for engine_module in ("repro.sim._engine", "repro.sim._compiled",
+                              "repro.sim.core"):
+            assert not self.findings(module=engine_module)
+
+    def test_silent_outside_sensitive_packages(self):
+        assert not self.findings(module="benchmarks.fixture")
+
+    def test_compiled_core_modules_are_sensitive(self):
+        # the registry additions, pinned by name: a split of repro.sim
+        # must not silently drop the cores from the sensitive set
+        from repro.lint.rules import DEFAULT_SENSITIVE_PACKAGES
+        assert "repro.sim._engine" in DEFAULT_SENSITIVE_PACKAGES
+        assert "repro.sim._compiled" in DEFAULT_SENSITIVE_PACKAGES
+        assert "repro.sim._ccore" in DEFAULT_SENSITIVE_PACKAGES
+
+
 class TestGuardedTraceSiteRule:
     def test_fires_on_every_bare_site(self):
         findings = [f for f in lint_fixture("trace.py")

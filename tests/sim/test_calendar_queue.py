@@ -1,0 +1,189 @@
+"""Unit tests for the calendar queue's mechanics (pure core).
+
+The equivalence suite (``test_core_equivalence.py``) proves the *what*
+— identical ``(time, seq, event)`` streams vs a reference heapq on both
+cores.  This file pins the *how* of the pure implementation: bucket-
+shell reuse, lazy order-heap cleanup, far-future ladder spill, width
+auto-tuning (window retune + emergency shrink), and in-place rebuilds
+that preserve container identity for the drain loop's aliases.
+"""
+
+import math
+
+import pytest
+
+from repro.common.errors import ConfigError, SimulationError
+from repro.sim._engine import _FAR_TIME, CalendarQueue, Environment, Event
+
+
+def _ev(env):
+    return Event(env)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestBasics:
+    def test_nonpositive_width_rejected(self):
+        with pytest.raises(ConfigError, match="must be positive"):
+            CalendarQueue(width=0.0)
+        with pytest.raises(ConfigError, match="must be positive"):
+            CalendarQueue(width=-5.0)
+        with pytest.raises(ConfigError, match="must be positive"):
+            CalendarQueue(width=float("nan"))
+
+    def test_len_and_min_time_track_contents(self, env):
+        cal = CalendarQueue(width=10.0)
+        assert len(cal) == 0
+        assert cal.min_time() == math.inf
+        cal.push(25.0, 1, _ev(env))
+        cal.push(5.0, 2, _ev(env))
+        assert len(cal) == 2
+        assert cal.min_time() == 5.0
+        t, batch = cal.pop_batch()
+        assert (t, len(batch)) == (5.0, 1)
+        assert cal.min_time() == 25.0
+        assert len(cal) == 1
+
+    def test_same_tick_batch_in_seq_order(self, env):
+        cal = CalendarQueue(width=10.0)
+        events = [_ev(env) for _ in range(5)]
+        # push out of seq order at one tick; batch must come back sorted
+        for seq in (3, 1, 5, 2, 4):
+            cal.push(7.0, seq, events[seq - 1])
+        t, batch = cal.pop_batch()
+        assert t == 7.0
+        assert [e[1] for e in batch] == [1, 2, 3, 4, 5]
+        assert [e[2] for e in batch] == events
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SimulationError, match="empty calendar"):
+            CalendarQueue().pop_batch()
+
+
+class TestBucketShells:
+    def test_drained_bucket_left_as_shell_and_rearmed(self, env):
+        cal = CalendarQueue(width=10.0)
+        cal.push(5.0, 1, _ev(env))
+        cal.pop_batch()
+        # the drained bucket stays behind: same dict key, still on the
+        # order heap, so a re-push into its range is a plain append
+        assert 0 in cal._buckets and cal._buckets[0] == []
+        assert cal._order == [0]
+        cal.push(8.0, 2, _ev(env))
+        assert len(cal._buckets[0]) == 1
+        assert cal.pop_batch()[0] == 8.0
+
+    def test_stale_shell_discarded_at_heap_top(self, env):
+        cal = CalendarQueue(width=10.0)
+        cal.push(5.0, 1, _ev(env))
+        cal.push(25.0, 2, _ev(env))
+        cal.pop_batch()  # drains bucket 0, leaves its shell
+        assert 0 in cal._buckets
+        # next pop resurfaces the empty shell at the heap top and must
+        # drop it (dict + heap) before serving bucket 2
+        t, _batch = cal.pop_batch()
+        assert t == 25.0
+        assert 0 not in cal._buckets
+        assert 0 not in cal._order
+
+    def test_min_time_also_prunes_shells(self, env):
+        cal = CalendarQueue(width=10.0)
+        cal.push(5.0, 1, _ev(env))
+        cal.push(25.0, 2, _ev(env))
+        cal.pop_batch()
+        assert cal.min_time() == 25.0
+        assert 0 not in cal._buckets
+
+
+class TestFarLadder:
+    def test_far_entries_skip_buckets(self, env):
+        cal = CalendarQueue(width=10.0)
+        cal.push(_FAR_TIME, 1, _ev(env))
+        cal.push(float("inf"), 2, _ev(env))
+        assert len(cal) == 2
+        assert cal._buckets == {}  # nothing bucketed
+        assert len(cal._far) == 2
+
+    def test_far_pops_after_all_buckets(self, env):
+        cal = CalendarQueue(width=10.0)
+        far_ev = _ev(env)
+        cal.push(1e308, 1, far_ev)
+        cal.push(3.0, 2, _ev(env))
+        assert cal.min_time() == 3.0
+        assert cal.pop_batch()[0] == 3.0
+        t, batch = cal.pop_batch()
+        assert t == 1e308
+        assert batch == [(1e308, 1, far_ev)]
+        assert len(cal) == 0
+
+    def test_far_same_time_batch_sorted_by_seq(self, env):
+        cal = CalendarQueue(width=10.0)
+        for seq in (9, 3, 6):
+            cal.push(1e308, seq, _ev(env))
+        cal.push(float("inf"), 1, _ev(env))
+        t, batch = cal.pop_batch()
+        assert t == 1e308
+        assert [e[1] for e in batch] == [3, 6, 9]
+        # the non-matching far entry survives for the next pop
+        assert cal.pop_batch()[0] == math.inf
+
+
+class TestWidthTuning:
+    def test_window_retune_widens_for_sparse_schedule(self, env):
+        cal = CalendarQueue(width=1.0)
+        # ~100-apart singleton batches: avg gap 100 => target 800,
+        # >2x the current width, so the first full window rebuilds
+        n = CalendarQueue.GAP_WINDOW * 2 + 8
+        for seq in range(n):
+            cal.push(100.0 * (seq + 1), seq, _ev(env))
+        for _ in range(n):
+            cal.pop_batch()
+        assert cal.width > 1.0
+        assert cal.width <= CalendarQueue.MAX_WIDTH
+
+    def test_window_retune_narrows_for_dense_schedule(self, env):
+        cal = CalendarQueue(width=50000.0)
+        n = CalendarQueue.GAP_WINDOW * 2 + 8
+        for seq in range(n):
+            cal.push(0.25 * (seq + 1), seq, _ev(env))
+        for _ in range(n):
+            cal.pop_batch()
+        assert cal.width < 50000.0
+        assert cal.width >= CalendarQueue.MIN_WIDTH
+
+    def test_spill_shrinks_immediately(self, env):
+        cal = CalendarQueue(width=CalendarQueue.MAX_WIDTH)
+        n = CalendarQueue.SPILL_LIMIT + 2
+        for seq in range(n):
+            cal.push(1.0 + seq, seq, _ev(env))  # spread, all one bucket
+        assert cal.width < CalendarQueue.MAX_WIDTH
+        assert max(len(b) for b in cal._buckets.values()) <= n // 2
+        # stream intact after the rebuild
+        times = [cal.pop_batch()[0] for _ in range(n)]
+        assert times == sorted(times)
+
+    def test_same_tick_burst_does_not_thrash_width(self, env):
+        cal = CalendarQueue(width=128.0)
+        n = CalendarQueue.SPILL_LIMIT + 50
+        for seq in range(n):
+            cal.push(42.0, seq, _ev(env))  # zero span: width can't help
+        assert cal.width == 128.0
+        t, batch = cal.pop_batch()
+        assert (t, len(batch)) == (42.0, n)
+
+    def test_rebuild_preserves_container_identity(self, env):
+        cal = CalendarQueue(width=1.0)
+        for seq in range(20):
+            cal.push(float(seq), seq, _ev(env))
+        buckets, order = cal._buckets, cal._order
+        cal._rebuild(8.0)
+        # the drain loop holds local aliases of both containers across
+        # dispatches; rebuilds must mutate, never replace, them
+        assert cal._buckets is buckets
+        assert cal._order is order
+        assert len(cal) == 20
+        times = [cal.pop_batch()[0] for _ in range(20)]
+        assert times == [float(s) for s in range(20)]
